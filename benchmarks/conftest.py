@@ -1,0 +1,34 @@
+"""Benchmark fixtures.
+
+Every benchmark regenerates one paper artifact at reduced scale and asserts
+its qualitative shape, while pytest-benchmark reports the wall-clock of the
+regeneration itself.  Heavy experiments use ``benchmark.pedantic`` with one
+round; micro-kernels use the auto-calibrated mode.
+
+Set ``REPRO_BENCH_SCALE=paper`` to run the published parameter sets (slow).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.runtime import RunContext
+
+
+@pytest.fixture()
+def ctx() -> RunContext:
+    """Fixed-seed context so benchmark numbers are comparable run to run."""
+    return RunContext(seed=0)
+
+
+@pytest.fixture()
+def scale() -> str:
+    """Experiment scale for the benchmark session."""
+    return os.environ.get("REPRO_BENCH_SCALE", "default")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive callable with a single measured round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

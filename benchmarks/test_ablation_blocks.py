@@ -1,0 +1,39 @@
+"""Ablation 3: kernel-parameter (block size / count) sensitivity of Vs.
+
+The paper fixes Nt = 64, Nb = 7813 for Fig 1.  This ablation sweeps the
+block size and shows (a) every deterministic strategy stays bitwise stable
+per configuration while its *value* changes across configurations (each
+blocking is a different association), and (b) SPA's Vs spread shrinks as
+blocks get bigger (fewer partials to permute).
+"""
+
+import numpy as np
+
+from repro.experiments._sumdist import sample_array, spa_vs_samples
+from repro.reductions import get_reduction
+from repro.runtime import RunContext
+
+from conftest import run_once
+
+
+def test_block_size_sensitivity(benchmark, ctx):
+    def ablate():
+        data = RunContext(0).data(3)
+        x = sample_array(data, 100_000, "uniform")
+        # The association-sensitivity probe uses normal data: cancellation
+        # makes rounding differences across blockings near-certain.
+        x_assoc = sample_array(data, 100_000, "normal")
+        spreads = {}
+        det_values = {}
+        for tpb in (32, 64, 256):
+            vs = spa_vs_samples(x, 150, RunContext(0), threads_per_block=tpb)
+            spreads[tpb] = float(np.std(vs))
+            impl = get_reduction("sptr", threads_per_block=tpb)
+            det_values[tpb] = impl.sum(x_assoc)
+        return spreads, det_values
+
+    spreads, det_values = run_once(benchmark, ablate)
+    # Fewer partials (bigger blocks) -> smaller permutation space -> less spread.
+    assert spreads[256] < spreads[32]
+    # Different blockings are different (deterministic) associations.
+    assert len(set(det_values.values())) > 1

@@ -1,0 +1,45 @@
+"""Ablation 4: accumulation dtype (fp32 vs fp64) variability magnitudes.
+
+The sum study (SIII) is FP64 (Vs ~ 1e-16..1e-13); the tensor-kernel study
+(SIV) is FP32 (Vermv ~ 1e-7..1e-6).  The ~1e8 ratio between the regimes is
+the eps ratio of the two formats; this ablation verifies the model
+reproduces it.
+"""
+
+import numpy as np
+
+from repro.metrics import ermv
+from repro.ops import SegmentPlan, index_add
+from repro.ops.nondet import ContentionModel
+from repro.runtime import RunContext
+
+from conftest import run_once
+
+FORCE = ContentionModel(q0=1.0, gamma=0.0, n0=1e-9)
+
+
+def _mean_ermv(dtype, ctx, n_runs=20):
+    rng = ctx.data(9)
+    idx = rng.integers(0, 50, 1000)
+    src = rng.standard_normal((1000, 16)).astype(dtype)
+    inp = rng.standard_normal((50, 16)).astype(dtype)
+    plan = SegmentPlan(idx, 50)
+    ref = index_add(inp, 0, idx, src, plan=plan, deterministic=True)
+    vals = []
+    for _ in range(n_runs):
+        out = index_add(inp, 0, idx, src, plan=plan, model=FORCE, ctx=ctx)
+        vals.append(ermv(ref, out))
+    vals = np.asarray(vals)
+    return float(vals[np.isfinite(vals)].mean())
+
+
+def test_fp32_variability_dwarfs_fp64(benchmark):
+    def ablate():
+        return (
+            _mean_ermv(np.float32, RunContext(0)),
+            _mean_ermv(np.float64, RunContext(0)),
+        )
+
+    v32, v64 = run_once(benchmark, ablate)
+    assert v32 > 1e3 * v64  # eps ratio is ~5e8; allow slack
+    assert v32 < 1e-4       # still in the paper's fp32 band

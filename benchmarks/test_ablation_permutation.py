@@ -1,0 +1,41 @@
+"""Ablation 2: permutation family — uniform random vs the wave/arrival
+model.
+
+DESIGN.md S5: AO's non-normal Vs (Fig 2) requires the *structured*
+scheduler (discrete GPC rotation under contention).  Replacing it with
+uniform random permutations makes the distribution CLT-normal and the Fig-2
+result disappears.
+"""
+
+import numpy as np
+
+from repro.fp.summation import block_partials, tree_fold
+from repro.gpusim.atomics import atomic_fold
+from repro.metrics.distribution import kl_to_normal
+from repro.metrics.scalar import scalar_variability_many
+from repro.experiments._sumdist import ao_vs_samples, sample_array
+from repro.runtime import RunContext
+
+from conftest import run_once
+
+
+def _uniform_permutation_vs(x, n_runs, ctx):
+    nb = (x.size + 63) // 64
+    s_d = tree_fold(block_partials(x, nb))
+    sums = np.empty(n_runs)
+    for i in range(n_runs):
+        perm = ctx.scheduler().permutation(x.size)
+        sums[i] = atomic_fold(x, perm)
+    return scalar_variability_many(sums, s_d)
+
+
+def test_structured_scheduler_is_the_nonnormality_source(benchmark, ctx):
+    def ablate():
+        data = RunContext(0).data(7)
+        x = sample_array(data, 20_000, "uniform")
+        structured = ao_vs_samples(x, 400, RunContext(0))
+        uniform = _uniform_permutation_vs(x, 400, RunContext(1))
+        return kl_to_normal(structured, bins=21), kl_to_normal(uniform, bins=21)
+
+    kl_structured, kl_uniform = run_once(benchmark, ablate)
+    assert kl_structured > kl_uniform

@@ -1,0 +1,49 @@
+"""Ablation 5: deterministic-summation algorithms — accuracy/cost trade.
+
+Compares the mitigation strategies a developer could adopt instead of the
+GPU tree reductions: Kahan, Neumaier, sorted fold and exact (fsum), in both
+accuracy (ulps from correctly-rounded) and wall-clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.fp import (
+    exact_sum,
+    kahan_sum,
+    neumaier_sum,
+    relative_error_in_ulps,
+    serial_sum,
+    sorted_sum,
+    tree_fold,
+)
+from repro.runtime import RunContext
+
+ALGOS = {
+    "serial": serial_sum,
+    "tree": tree_fold,
+    "sorted": sorted_sum,
+    "kahan": kahan_sum,
+    "neumaier": neumaier_sum,
+    "exact": exact_sum,
+}
+
+
+@pytest.fixture(scope="module")
+def data():
+    return RunContext(0).data(1).standard_normal(100_000) * 1e6
+
+
+@pytest.mark.parametrize("name", list(ALGOS))
+def test_summation_algorithm(benchmark, data, name):
+    fn = ALGOS[name]
+    result = benchmark(fn, data)
+    err_ulps = relative_error_in_ulps(result, exact_sum(data))
+    budget = {"serial": 5e4, "tree": 64, "sorted": 5e4, "kahan": 4, "neumaier": 2, "exact": 0}
+    assert err_ulps <= budget[name]
+
+
+def test_compensated_beats_plain_fold_accuracy(data):
+    exact = exact_sum(data)
+    assert abs(neumaier_sum(data) - exact) <= abs(serial_sum(data) - exact)
+    assert abs(kahan_sum(data) - exact) <= abs(serial_sum(data) - exact) + 1e-9

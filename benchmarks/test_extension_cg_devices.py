@@ -1,0 +1,25 @@
+"""Benches for the extension experiments: CG divergence and the cross-GPU
+supplementary figure."""
+
+from repro.experiments import get_experiment
+
+from conftest import run_once
+
+
+def test_cgdiv_regeneration(benchmark, ctx, scale):
+    kwargs = {"scale": scale, "ctx": ctx}
+    if scale == "default":
+        kwargs.update(n=150, n_runs=3, n_iter=20)
+    result = run_once(benchmark, get_experiment("cgdiv").run, **kwargs)
+    nd = [r["nd_divergence"] for r in result.rows]
+    assert nd[-1] > nd[0]
+    assert all(r["d_divergence"] == 0.0 for r in result.rows)
+
+
+def test_figs1_regeneration(benchmark, ctx, scale):
+    kwargs = {"scale": scale, "ctx": ctx}
+    if scale == "default":
+        kwargs.update(n_arrays=2, n_runs=200)
+    result = run_once(benchmark, get_experiment("figS1").run, **kwargs)
+    assert len(result.rows) == 3
+    assert sum(r["frac_arrays_normal_by_kl"] >= 0.5 for r in result.rows) >= 2

@@ -1,0 +1,17 @@
+"""Bench E-F1: regenerate Fig 1 (SPA Vs PDFs, normal vs uniform)."""
+
+from repro.experiments import get_experiment
+
+from conftest import run_once
+
+
+def test_fig1_regeneration(benchmark, ctx, scale):
+    kwargs = {"scale": scale, "ctx": ctx}
+    result = run_once(benchmark, get_experiment("fig1").run, **kwargs)
+    rows = {r["distribution"]: r for r in result.rows}
+    # Per-array PDFs are consistent with a normal (the paper's KL verdict).
+    assert rows["uniform"]["frac_arrays_normal_by_kl"] >= 0.5
+    assert rows["normal"]["frac_arrays_normal_by_kl"] >= 0.5
+    # Mean/std depend on the input distribution.
+    assert rows["uniform"]["vs_std_x1e16"] != rows["normal"]["vs_std_x1e16"]
+    assert "pdf_uniform" in result.extra

@@ -1,0 +1,15 @@
+"""Bench E-F2: regenerate Fig 2 (AO Vs PDF is not normal)."""
+
+from repro.experiments import get_experiment
+
+from conftest import run_once
+
+
+def test_fig2_regeneration(benchmark, ctx, scale):
+    result = run_once(benchmark, get_experiment("fig2").run, scale=scale, ctx=ctx)
+    rows = {r["implementation"]: r for r in result.rows}
+    # The Gaussian-noise assumption fails for AO but holds for SPA.
+    assert rows["AO"]["median_kl_to_normal"] > rows["SPA"]["median_kl_to_normal"]
+    assert rows["SPA"]["frac_arrays_normal_by_kl"] >= 0.5
+    # AO's spread is wider (paper: +-1000e-16 vs +-400e-16 axes).
+    assert rows["AO"]["vs_std_x1e16"] > rows["SPA"]["vs_std_x1e16"]

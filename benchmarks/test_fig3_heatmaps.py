@@ -1,0 +1,22 @@
+"""Bench E-F3: regenerate Fig 3 (Vc heatmaps vs input dim and R)."""
+
+import numpy as np
+
+from repro.experiments import get_experiment
+
+from conftest import run_once
+
+
+def test_fig3_regeneration(benchmark, ctx, scale):
+    kwargs = {"scale": scale, "ctx": ctx}
+    if scale == "default":
+        kwargs.update(n_runs=10)
+    result = run_once(benchmark, get_experiment("fig3").run, **kwargs)
+
+    for op in ("scatter_reduce", "index_add"):
+        rows = [r for r in result.rows if r["op"] == op]
+        dims = sorted({r["input_dim"] for r in rows})
+        # Vc grows with input dimension (averaged over R).
+        small = np.mean([r["vc_mean"] for r in rows if r["input_dim"] == dims[0]])
+        large = np.mean([r["vc_mean"] for r in rows if r["input_dim"] == dims[-1]])
+        assert large > small, op

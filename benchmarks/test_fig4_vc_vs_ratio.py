@@ -1,0 +1,20 @@
+"""Bench E-F4: regenerate Fig 4 (Vc vs reduction ratio)."""
+
+from repro.experiments import get_experiment
+
+from conftest import run_once
+
+
+def test_fig4_regeneration(benchmark, ctx, scale):
+    kwargs = {"scale": scale, "ctx": ctx}
+    if scale == "default":
+        kwargs.update(n_runs=25)
+    result = run_once(benchmark, get_experiment("fig4").run, **kwargs)
+    by_r = {r["R"]: r for r in result.rows}
+    rs = sorted(by_r)
+    # index_add rises with R.
+    assert by_r[rs[-1]]["index_add_vc"] > by_r[rs[0]]["index_add_vc"]
+    # scatter_reduce: flat band below R=1, jump at R=1.
+    flat = [by_r[r]["scatter_reduce_sum_vc"] for r in rs if r < 1.0]
+    assert max(flat) < 4 * max(min(flat), 1e-4)
+    assert by_r[1.0]["scatter_reduce_sum_vc"] > 2 * max(flat)

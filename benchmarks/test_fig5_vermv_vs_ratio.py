@@ -1,0 +1,17 @@
+"""Bench E-F5: regenerate Fig 5 (Vermv vs reduction ratio)."""
+
+from repro.experiments import get_experiment
+
+from conftest import run_once
+
+
+def test_fig5_regeneration(benchmark, ctx, scale):
+    kwargs = {"scale": scale, "ctx": ctx}
+    if scale == "default":
+        kwargs.update(n_runs=25)
+    result = run_once(benchmark, get_experiment("fig5").run, **kwargs)
+    by_r = {r["R"]: r for r in result.rows}
+    rs = sorted(by_r)
+    assert by_r[rs[-1]]["index_add_ermv"] > by_r[rs[0]]["index_add_ermv"]
+    # fp32 magnitude band (Vermv averages over all elements).
+    assert all(r["index_add_ermv"] < 1e-5 for r in result.rows)

@@ -1,0 +1,16 @@
+"""Bench E-MAXVS: regenerate the Max|Vs| power-law fit (SIII-C)."""
+
+from repro.experiments import get_experiment
+
+from conftest import run_once
+
+
+def test_maxvs_regeneration(benchmark, ctx, scale):
+    kwargs = {"scale": scale, "ctx": ctx}
+    if scale == "default":
+        kwargs.update(n_runs=80, n_arrays=3)
+    result = run_once(benchmark, get_experiment("maxvs").run, **kwargs)
+    fits = result.extra["fits"]
+    # Paper: Max|Vs| proportional to sqrt(n) for uniform inputs.
+    assert 0.3 < fits["uniform"]["alpha"] < 0.75
+    assert fits["uniform"]["r_squared"] > 0.9

@@ -1,0 +1,18 @@
+"""Bench E-T1: regenerate Table 1 (permutation effects on FP64 sums)."""
+
+from repro.experiments import get_experiment
+
+from conftest import run_once
+
+
+def test_table1_regeneration(benchmark, ctx, scale):
+    result = run_once(
+        benchmark, get_experiment("table1").run, scale=scale, ctx=ctx
+    )
+    assert len(result.rows) >= 8
+    # Shape: variability exists and grows with n (compare extremes).
+    small = max(abs(r["s_nd_minus_s_d"]) for r in result.rows if r["size"] == 100)
+    big = max(abs(r["s_nd_minus_s_d"]) for r in result.rows if r["size"] == max(
+        rr["size"] for rr in result.rows
+    ))
+    assert big >= small

@@ -1,0 +1,12 @@
+"""Bench E-T2: regenerate Table 2 (implementation property matrix)."""
+
+from repro.experiments import get_experiment
+
+
+def test_table2_regeneration(benchmark, ctx, scale):
+    result = benchmark(get_experiment("table2").run, scale=scale, ctx=ctx)
+    dets = {r["method"]: r["deterministic"] for r in result.rows}
+    assert dets == {
+        "CU": "Yes", "SPTR": "Yes", "SPRG": "Yes",
+        "TPRC": "Yes", "SPA": "No", "AO": "No",
+    }

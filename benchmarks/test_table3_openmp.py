@@ -1,0 +1,11 @@
+"""Bench E-T3: regenerate Table 3 (OpenMP normal vs ordered reductions)."""
+
+from repro.experiments import get_experiment
+
+from conftest import run_once
+
+
+def test_table3_regeneration(benchmark, ctx, scale):
+    result = run_once(benchmark, get_experiment("table3").run, scale=scale, ctx=ctx)
+    assert result.extra["n_unique_ordered"] == 1
+    assert result.extra["n_unique_normal"] > 1

@@ -1,0 +1,36 @@
+"""Bench E-T4: regenerate Table 4 (per-device sum timings and Ps).
+
+Also micro-benches the *actual* simulator throughput of the deterministic
+and non-deterministic reductions, which is what a user of this library
+pays.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_experiment
+from repro.reductions import get_reduction
+
+from conftest import run_once
+
+
+def test_table4_regeneration(benchmark, ctx, scale):
+    result = run_once(benchmark, get_experiment("table4").run, scale=scale, ctx=ctx)
+
+    def fastest(gpu):
+        rows = [r for r in result.rows if r["gpu"] == gpu]
+        return min(rows, key=lambda r: r["time_100_sums_ms"])["implementation"]
+
+    assert fastest("v100") == "SPA"
+    assert fastest("mi250x") == "TPRC"
+    ao = next(r for r in result.rows if r["implementation"] == "AO" and r["gpu"] == "v100")
+    spa = next(r for r in result.rows if r["implementation"] == "SPA" and r["gpu"] == "v100")
+    assert ao["time_100_sums_ms"] > 100 * spa["time_100_sums_ms"]
+
+
+@pytest.mark.parametrize("name", ["sptr", "sprg", "tprc", "cu", "spa"])
+def test_simulator_throughput(benchmark, ctx, name):
+    x = ctx.data().standard_normal(1 << 18)
+    impl = get_reduction(name, threads_per_block=128)
+    result = benchmark(impl.sum, x, ctx=ctx)
+    assert np.isfinite(result)

@@ -1,0 +1,18 @@
+"""Bench E-T5: regenerate Table 5 (per-op min/max Vermv sweep)."""
+
+from repro.experiments import get_experiment
+
+from conftest import run_once
+
+
+def test_table5_regeneration(benchmark, ctx, scale):
+    kwargs = {"scale": scale, "ctx": ctx}
+    if scale == "default":
+        kwargs["n_runs"] = 12  # keep the bench under a few seconds
+    result = run_once(benchmark, get_experiment("table5").run, **kwargs)
+    rows = {r["operation"]: r for r in result.rows}
+    assert len(rows) == 9
+    # fp32 magnitude band and the paper's zero-minimum phenomenon.
+    assert all(r["max_ermv"] < 1e-2 for r in result.rows)
+    assert any(r["min_ermv"] == 0 for r in result.rows)
+    assert rows["index_add"]["max_ermv"] > 0

@@ -1,0 +1,47 @@
+"""Bench E-T6: regenerate Table 6 (kernel runtimes, H100 vs LPU) and
+micro-bench the actual kernels at the paper's workload sizes."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import get_experiment
+from repro.ops import SegmentPlan, index_add, scatter_reduce
+
+
+def test_table6_regeneration(benchmark, ctx, scale):
+    result = benchmark(get_experiment("table6").run, scale=scale, ctx=ctx)
+    rows = {r["operation"]: r for r in result.rows}
+    assert rows["scatter_reduce(sum)"]["h100_d_us"] == "N/A"
+    assert rows["index_add"]["h100_d_us"] > rows["index_add"]["h100_nd_us"]
+    assert rows["index_add"]["groq_d_us"] < rows["index_add"]["h100_d_us"]
+
+
+@pytest.fixture()
+def paper_workload(ctx):
+    rng = ctx.data()
+    n, ratio = 1000, 0.5
+    t = int(n * ratio)
+    idx = rng.integers(0, t, n)
+    src = rng.standard_normal(n).astype(np.float32)
+    inp = np.zeros(t, dtype=np.float32)
+    return idx, src, inp, SegmentPlan(idx, t)
+
+
+def test_scatter_reduce_kernel_nd(benchmark, ctx, paper_workload):
+    idx, src, inp, plan = paper_workload
+    out = benchmark(
+        scatter_reduce, inp, 0, idx, src, "sum", plan=plan, ctx=ctx,
+        deterministic=False,
+    )
+    assert out.shape == inp.shape
+
+
+def test_index_add_kernel_paper_size(benchmark, ctx):
+    rng = ctx.data()
+    n = 250  # scaled from the paper's 1000x1000 to keep the bench snappy
+    idx = rng.integers(0, n // 2, n)
+    src = rng.standard_normal((n, n)).astype(np.float32)
+    inp = np.zeros((n // 2, n), dtype=np.float32)
+    plan = SegmentPlan(idx, n // 2)
+    out = benchmark(index_add, inp, 0, idx, src, plan=plan, ctx=ctx, deterministic=False)
+    assert out.shape == inp.shape

@@ -1,0 +1,19 @@
+"""Bench E-T7 / E-EPOCH: regenerate Table 7 (GNN D/ND variability) and the
+epoch-drift result."""
+
+from repro.experiments import get_experiment
+
+from conftest import run_once
+
+
+def test_table7_regeneration(benchmark, ctx, scale):
+    kwargs = {"scale": scale, "ctx": ctx}
+    if scale == "default":
+        kwargs.update(n_models=4, epochs=3)
+    result = run_once(benchmark, get_experiment("table7").run, **kwargs)
+    rows = {(r["training"], r["inference"]): r for r in result.rows}
+    assert rows[("D", "D")]["ermv_mean"] == 0.0
+    assert rows[("ND", "ND")]["vc_mean"] >= rows[("D", "ND")]["vc_mean"]
+    assert result.extra["all_weights_unique"] is True
+    drift = result.extra["epoch_drift"]
+    assert drift[-1]["weight_ermv_mean"] >= drift[0]["weight_ermv_mean"]

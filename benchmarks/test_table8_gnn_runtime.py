@@ -1,0 +1,27 @@
+"""Bench E-T8: regenerate Table 8 (GraphSAGE inference runtimes) and bench
+one real simulated inference pass."""
+
+import numpy as np
+
+from repro.experiments import get_experiment
+from repro.graph import cora_like
+from repro.nn import GraphSAGE
+from repro.tensor import Tensor
+
+
+def test_table8_regeneration(benchmark, ctx, scale):
+    result = benchmark(get_experiment("table8").run, scale=scale, ctx=ctx)
+    det = next(r for r in result.rows if r["inference"] == "Deterministic")
+    nd = next(r for r in result.rows if r["inference"] == "Non-deterministic")
+    assert det["h100_ms"] > nd["h100_ms"]
+    assert det["groq_ms"] < nd["h100_ms"] / 10
+
+
+def test_real_inference_pass(benchmark, ctx):
+    ds = cora_like(num_nodes=300, num_edges=600, num_features=64,
+                   num_classes=7, ctx=ctx)
+    model = GraphSAGE(64, 16, 7, rng=ctx.init())
+    x = Tensor(ds.features)
+    out = benchmark(lambda: model(x, ds.graph.edge_index).numpy())
+    assert out.shape == (300, 7)
+    assert np.all(np.isfinite(out))

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Scenario: FPNA breaks a tolerance-based correctness-testing harness.
+
+Computational-chemistry codes (the paper cites CP2K) regression-test
+energies against reference values with tolerances as tight as 1e-14.  This
+example builds such a harness around a mock "energy kernel" (a big
+reduction over pairwise terms) and shows:
+
+* with a deterministic reduction, the test verdict is stable;
+* with a non-deterministic one, the verdict flickers run to run once the
+  tolerance approaches the FPNA noise floor — masking real bugs and
+  flagging phantom ones;
+* two remedies: the deterministic kernel, or widening the tolerance to the
+  measured noise floor (with the coverage cost that implies).
+
+Run:  python examples/correctness_testing.py
+"""
+
+import numpy as np
+
+import repro
+from repro.fp import exact_sum
+
+
+class EnergyKernel:
+    """Mock molecular 'energy': a large sum of pairwise interaction terms."""
+
+    def __init__(self, n_terms: int, ctx) -> None:
+        # Boltzmann-ish positive terms, like the paper's physics workloads.
+        self.terms = ctx.data(stream=2).exponential(1.0, n_terms)
+        self.ctx = ctx
+
+    def energy(self, reduction) -> float:
+        return reduction.sum(self.terms, ctx=self.ctx)
+
+
+def run_test_suite(kernel, reduction, reference, tolerance, n_trials=20):
+    """Tolerance test: |E - E_ref| <= tol * |E_ref|, repeated n_trials times."""
+    verdicts = []
+    for _ in range(n_trials):
+        e = kernel.energy(reduction)
+        verdicts.append(abs(e - reference) <= tolerance * abs(reference))
+    return verdicts
+
+
+def main() -> None:
+    ctx = repro.seed_all(7)
+    kernel = EnergyKernel(2_000_000, ctx)
+    reference = exact_sum(kernel.terms)
+
+    det = repro.get_reduction("sptr", threads_per_block=128)
+    nondet = repro.get_reduction("spa", threads_per_block=64)
+
+    print(f"reference energy (correctly rounded): {reference:.15e}\n")
+    print(f"{'tolerance':>10} | {'deterministic':>15} | {'non-deterministic':>18}")
+    print("-" * 52)
+    for tol in (1e-12, 1e-13, 1e-14, 5e-15, 2e-15, 1e-15, 1e-16):
+        v_det = run_test_suite(kernel, det, reference, tol)
+        v_nd = run_test_suite(kernel, nondet, reference, tol)
+
+        def fmt(verdicts):
+            n_pass = sum(verdicts)
+            if n_pass == len(verdicts):
+                return "PASS (stable)"
+            if n_pass == 0:
+                return "FAIL (stable)"
+            return f"FLAKY ({n_pass}/{len(verdicts)} pass)"
+
+        print(f"{tol:>10.0e} | {fmt(v_det):>15} | {fmt(v_nd):>18}")
+
+    # Measure the non-deterministic noise floor, the paper's Vs statistics.
+    energies = np.array([kernel.energy(nondet) for _ in range(100)])
+    rel_spread = np.ptp(energies) / abs(reference)
+    print(f"\nmeasured ND noise floor (relative spread over 100 runs): {rel_spread:.2e}")
+    print("any tolerance below this line is un-testable with the ND kernel;")
+    print("the deterministic kernel keeps a stable verdict at every tolerance.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""OpenMP ordered reductions and MPI-style allreduce (paper SIII-B + future work).
+
+Reproduces the Table 3 demonstration — a plain `reduction(+:sum)` wobbles
+in its trailing digits while the `ordered` construct is bitwise stable —
+and extends it to the paper's "future work": multi-rank allreduce, where
+an arrival-ordered tree varies run to run and a ring algorithm restores
+determinism.
+
+Run:  python examples/openmp_reductions.py
+"""
+
+import numpy as np
+
+import repro
+from repro.metrics import count_variability
+from repro.openmp import OpenMPRuntime, RankReducer
+
+
+def main() -> None:
+    ctx = repro.seed_all(3)
+
+    # -- Table 3: normal vs ordered ------------------------------------------
+    x = ctx.data(1).uniform(1.0, 4.0, 200_000) * 2.35e-07 / 200_000
+    rt = OpenMPRuntime(num_threads=32, ctx=ctx)
+    print("trial |        normal reduction |       ordered reduction")
+    print("-" * 60)
+    for i in range(10):
+        normal = rt.reduce_sum(x, ordered=False)
+        ordered = rt.reduce_sum(x, ordered=True)
+        print(f"{i + 1:5d} | {normal:.16e} | {ordered:.16e}")
+    print("\nnote the trailing-digit wobble on the left, stability on the right")
+    print("(the ordered construct serialises the combine in iteration order).")
+
+    # -- schedules -------------------------------------------------------------
+    print("\nschedule comparison (same data, 10 trials each):")
+    for schedule, chunk in (("static", None), ("dynamic", 64), ("guided", 16)):
+        rt = OpenMPRuntime(num_threads=16, schedule=schedule, chunk=chunk, ctx=ctx)
+        vals = rt.reduce_many(x, 10)
+        print(f"  {schedule:>8}: {len(set(vals.tolist()))} distinct values")
+
+    # -- multi-rank allreduce (the paper's future-work direction) --------------
+    print("\nMPI-style allreduce across 32 ranks (50k elements each):")
+    contribs = ctx.data(2).standard_normal((32, 50_000))
+    for algo in ("tree", "ring"):
+        red = RankReducer(32, algorithm=algo, ctx=ctx)
+        ref = red.allreduce(contribs)
+        vcs = [count_variability(ref, red.allreduce(contribs)) for _ in range(8)]
+        label = "non-deterministic" if not red.deterministic else "deterministic"
+        print(f"  {algo:>4} allreduce ({label}): mean Vc across runs = "
+              f"{np.mean(vcs):.4f}")
+    print("\nring allreduce fixes the association order per rank count -- the")
+    print("standard software mitigation for inter-node FPNA variability.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: measure FPNA-induced run-to-run variability in 60 seconds.
+
+Demonstrates the core loop of the library:
+
+1. generate a workload from a replayable run context,
+2. sum it with a non-deterministic GPU strategy (SPA) and a deterministic
+   one (SPTR) on the simulated V100,
+3. quantify the variability with the paper's metrics (Vs, Vermv, Vc),
+4. flip the global determinism switch and watch the variability vanish.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+import repro
+
+
+def main() -> None:
+    ctx = repro.seed_all(0)
+
+    # -- 1. a workload ----------------------------------------------------
+    x = ctx.data().uniform(0.0, 10.0, 1_000_000)
+    print(f"workload: {x.size:,} FP64 values ~ U(0, 10)")
+
+    # -- 2. deterministic vs non-deterministic parallel sums ---------------
+    spa = repro.get_reduction("spa", device="v100", threads_per_block=64)
+    sptr = repro.get_reduction("sptr", device="v100", threads_per_block=64)
+
+    s_det = sptr.sum(x)
+    print(f"\nSPTR (deterministic):      {s_det:.15e}")
+    print("SPA  (non-deterministic), five runs:")
+    vs_values = []
+    for i in range(5):
+        s = spa.sum(x, ctx=ctx)
+        vs = repro.scalar_variability(s, s_det)
+        vs_values.append(vs)
+        print(f"  run {i}: {s:.15e}   Vs = {vs:+.2e}")
+
+    print(f"\n|Vs| spread across runs: {np.ptp(vs_values):.2e}")
+    print("CP2K-style correctness tests use tolerances down to 1e-14 -- this")
+    print("wobble is the debugging hazard the paper documents (SIII).")
+
+    # -- 3. tensor-kernel variability (paper SIV) -------------------------
+    from repro.ops import index_add
+
+    rng = ctx.data(stream=1)
+    idx = rng.integers(0, 500, 1_000)
+    src = rng.standard_normal((1_000, 64)).astype(np.float32)
+    base = rng.standard_normal((500, 64)).astype(np.float32)
+
+    reference = index_add(base, 0, idx, src, deterministic=True)
+    runs = [index_add(base, 0, idx, src, ctx=ctx) for _ in range(10)]
+    report = repro.variability_report(reference, runs)
+    print(f"\nindex_add over 10 ND runs:  Vermv = {report.ermv_mean:.2e}"
+          f"   Vc = {report.vc_mean:.4f}   unique outputs = {report.n_unique}")
+
+    # -- 4. the determinism switch -----------------------------------------
+    repro.use_deterministic_algorithms(True)
+    runs = [index_add(base, 0, idx, src, ctx=ctx) for _ in range(10)]
+    report = repro.variability_report(reference, runs)
+    print(f"with use_deterministic_algorithms(True):  Vermv = "
+          f"{report.ermv_mean:.1e}   Vc = {report.vc_mean:.1f}   "
+          f"unique outputs = {report.n_unique}")
+    repro.use_deterministic_algorithms(False)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The primary metadata lives in ``pyproject.toml``; this file exists so the
+package can be installed in environments whose ``pip``/``setuptools`` lack
+the ``wheel`` package needed for PEP 660 editable installs
+(``python setup.py develop`` as a fallback for ``pip install -e .``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,113 @@
+"""Shared machinery for the kernel-variability experiments (Table 5, Figs 3-5).
+
+Implements the paper's §IV protocol: when a deterministic kernel exists,
+its output is the reference ``A``; otherwise the first non-deterministic
+run is (``A = B_0``).  Each configuration reuses a single
+:class:`~repro.ops.segmented.SegmentPlan` across runs, so the per-run cost
+is the fold itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..metrics.array import count_variability, ermv
+from ..ops import index_add, scatter_reduce
+from ..ops.segmented import SegmentPlan
+from ..runtime import RunContext
+
+__all__ = ["OpVariability", "scatter_reduce_variability", "index_add_variability"]
+
+
+@dataclass(frozen=True)
+class OpVariability:
+    """Per-configuration variability statistics over N runs.
+
+    ``vc_*`` / ``ermv_*`` are statistics of the per-run metrics against the
+    reference; ``n_unique`` counts bitwise-distinct outputs.
+    """
+
+    n_runs: int
+    vc_mean: float
+    vc_std: float
+    ermv_mean: float
+    ermv_std: float
+    ermv_max: float
+    n_unique: int
+
+
+def _summarise(reference: np.ndarray, outputs: list[np.ndarray]) -> OpVariability:
+    vcs = np.array([count_variability(reference, o) for o in outputs])
+    ermvs = np.array([ermv(reference, o) for o in outputs])
+    finite = ermvs[np.isfinite(ermvs)]
+    uniq = len({o.tobytes() for o in outputs})
+    return OpVariability(
+        n_runs=len(outputs),
+        vc_mean=float(vcs.mean()),
+        vc_std=float(vcs.std()),
+        ermv_mean=float(finite.mean()) if finite.size else float("inf"),
+        ermv_std=float(finite.std()) if finite.size else float("nan"),
+        ermv_max=float(finite.max()) if finite.size else float("inf"),
+        n_unique=uniq,
+    )
+
+
+def scatter_reduce_variability(
+    n: int,
+    reduction_ratio: float,
+    reduce: str,
+    n_runs: int,
+    ctx: RunContext,
+    *,
+    dtype=np.float32,
+) -> OpVariability:
+    """Paper workload: 1-D scatter_reduce of ``n`` sources into
+    ``round(R * n)`` targets with uniform random indices.
+
+    ``scatter_reduce`` has no deterministic kernel (§IV), so the reference
+    is the first non-deterministic run — exactly the paper's protocol.
+    """
+    rng = ctx.data(stream=(n * 1009 + int(reduction_ratio * 1000)) % 2**31)
+    n_targets = max(1, round(reduction_ratio * n))
+    idx = rng.integers(0, n_targets, size=n)
+    src = rng.standard_normal(n).astype(dtype)
+    # Nonzero destination values (include_self): with a zero init, two-
+    # contribution segments could never vary (a + b == b + a exactly);
+    # real workloads reduce onto live accumulators.
+    inp = rng.standard_normal(n_targets).astype(dtype)
+    plan = SegmentPlan(idx, n_targets)
+    outputs = [
+        scatter_reduce(inp, 0, idx, src, reduce, plan=plan, ctx=ctx, deterministic=False)
+        for _ in range(n_runs + 1)
+    ]
+    return _summarise(outputs[0], outputs[1:])
+
+
+def index_add_variability(
+    n: int,
+    reduction_ratio: float,
+    n_runs: int,
+    ctx: RunContext,
+    *,
+    dtype=np.float32,
+) -> OpVariability:
+    """Paper workload: 2-D ``n x n`` source rows added into
+    ``round(R * n)`` target rows.
+
+    ``index_add`` has a deterministic kernel; it provides the reference.
+    """
+    rng = ctx.data(stream=(n * 2003 + int(reduction_ratio * 1000)) % 2**31)
+    n_targets = max(1, round(reduction_ratio * n))
+    idx = rng.integers(0, n_targets, size=n)
+    src = rng.standard_normal((n, n)).astype(dtype)
+    # Nonzero destination rows; see scatter_reduce_variability.
+    inp = rng.standard_normal((n_targets, n)).astype(dtype)
+    plan = SegmentPlan(idx, n_targets)
+    reference = index_add(inp, 0, idx, src, plan=plan, deterministic=True)
+    outputs = [
+        index_add(inp, 0, idx, src, plan=plan, ctx=ctx, deterministic=False)
+        for _ in range(n_runs)
+    ]
+    return _summarise(reference, outputs)

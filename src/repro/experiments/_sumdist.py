@@ -1,0 +1,86 @@
+"""Shared machinery for the Vs-distribution experiments (Figs 1-2, MaxVs).
+
+The paper's protocol (§III-C): generate arrays, apply the non-deterministic
+reduction many times per array, and compute ``Vs`` against the
+deterministic SPTR result.  Because the per-block stage of SPA is
+deterministic, its partials are computed **once** per array and only the
+combine order is re-sampled per run — the honest shortcut that makes the
+scaled experiments fast without changing a single result bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fp.summation import block_partials, tree_fold
+from ..gpusim.atomics import atomic_fold
+from ..gpusim.device import get_device
+from ..gpusim.kernel import LaunchConfig
+from ..gpusim.scheduler import WaveScheduler
+from ..metrics.scalar import scalar_variability_many
+from ..runtime import RunContext
+
+__all__ = ["sample_array", "spa_vs_samples", "ao_vs_samples"]
+
+
+def sample_array(rng: np.random.Generator, n: int, distribution: str) -> np.ndarray:
+    """Draw the experiment input (FP64)."""
+    if distribution == "uniform":
+        return rng.uniform(0.0, 10.0, n)
+    if distribution == "normal":
+        return rng.standard_normal(n)
+    if distribution == "boltzmann":
+        return rng.exponential(1.0, n)
+    raise ValueError(f"unknown distribution {distribution!r}")
+
+
+def spa_vs_samples(
+    x: np.ndarray,
+    n_runs: int,
+    ctx: RunContext,
+    *,
+    device: str = "v100",
+    threads_per_block: int = 64,
+    n_blocks: int | None = None,
+) -> np.ndarray:
+    """``Vs`` of ``n_runs`` SPA sums of ``x`` against the SPTR result.
+
+    Bit-identical to calling ``SinglePassAtomic.sum`` in a loop (the block
+    partials are deterministic and hoisted out of the loop).
+    """
+    dev = get_device(device)
+    n = x.size
+    nb = n_blocks or (n + threads_per_block - 1) // threads_per_block
+    launch = LaunchConfig(device=dev, n_blocks=nb, threads_per_block=threads_per_block,
+                          shared_mem_bytes=min(threads_per_block * 8, dev.shared_mem_per_block))
+    partials = block_partials(x, nb)
+    s_d = tree_fold(partials)  # SPTR's combine
+    sums = np.empty(n_runs, dtype=np.float64)
+    for i in range(n_runs):
+        sched = WaveScheduler(launch, ctx.scheduler())
+        order = sched.block_completion_order(contention=0.0)
+        sums[i] = atomic_fold(partials, order)
+    return scalar_variability_many(sums, s_d)
+
+
+def ao_vs_samples(
+    x: np.ndarray,
+    n_runs: int,
+    ctx: RunContext,
+    *,
+    device: str = "v100",
+    threads_per_block: int = 64,
+) -> np.ndarray:
+    """``Vs`` of ``n_runs`` AO sums of ``x`` against the SPTR result."""
+    dev = get_device(device)
+    n = x.size
+    nb = (n + threads_per_block - 1) // threads_per_block
+    launch = LaunchConfig(device=dev, n_blocks=nb, threads_per_block=threads_per_block,
+                          shared_mem_bytes=min(threads_per_block * 8, dev.shared_mem_per_block))
+    s_d = tree_fold(block_partials(x, nb))
+    sums = np.empty(n_runs, dtype=np.float64)
+    for i in range(n_runs):
+        sched = WaveScheduler(launch, ctx.scheduler())
+        order = sched.thread_retirement_order(n, contention=1.0)
+        sums[i] = atomic_fold(x, order)
+    return scalar_variability_many(sums, s_d)

@@ -1,0 +1,149 @@
+"""Experiment framework: results, scaling, and the registry.
+
+Every table/figure of the paper maps to one :class:`Experiment` subclass.
+Experiments are pure functions of a :class:`~repro.runtime.RunContext` and
+a scale:
+
+* ``"default"`` — laptop-scale parameters (seconds), statistically smaller
+  than the paper's but exercising identical code paths;
+* ``"paper"`` — the published parameters (can take hours).
+
+``run()`` returns an :class:`ExperimentResult` whose ``rows`` are plain
+dicts — renderable as markdown (:mod:`repro.experiments.report`) and
+JSON-serialisable for archival.
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ExperimentError
+from ..runtime import RunContext
+
+__all__ = ["ExperimentResult", "Experiment", "register", "get_experiment", "list_experiments"]
+
+_SCALES = ("default", "paper")
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        Registry key, e.g. ``"table1"``.
+    title:
+        Human-readable description (paper artifact reference).
+    scale:
+        Scale the run used.
+    params:
+        Fully resolved parameters.
+    rows:
+        List of dict rows — the regenerated table / figure series.
+    notes:
+        Free-form commentary (calibration provenance, paper-vs-measured).
+    elapsed_s:
+        Wall-clock the run took.
+    """
+
+    experiment_id: str
+    title: str
+    scale: str
+    params: dict
+    rows: list[dict]
+    notes: str = ""
+    elapsed_s: float = 0.0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-serialisable representation."""
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "scale": self.scale,
+            "params": self.params,
+            "rows": self.rows,
+            "notes": self.notes,
+            "elapsed_s": self.elapsed_s,
+            "extra": self.extra,
+        }
+
+
+class Experiment(abc.ABC):
+    """Base class: subclasses define ``experiment_id``, ``title``,
+    ``params_for(scale)`` and ``_run(ctx, params)``."""
+
+    experiment_id: str
+    title: str
+
+    @abc.abstractmethod
+    def params_for(self, scale: str) -> dict:
+        """Resolved parameter dict for a scale."""
+
+    @abc.abstractmethod
+    def _run(self, ctx: RunContext, params: dict) -> tuple[list[dict], str, dict]:
+        """Execute; return (rows, notes, extra)."""
+
+    def run(self, *, scale: str = "default", ctx: RunContext | None = None, **overrides) -> ExperimentResult:
+        """Run the experiment.
+
+        Parameters
+        ----------
+        scale:
+            ``"default"`` or ``"paper"``.
+        ctx:
+            Run context; a fresh seed-0 context when omitted, so results
+            are reproducible by default.
+        overrides:
+            Parameter overrides applied after scale resolution.
+        """
+        if scale not in _SCALES:
+            raise ExperimentError(f"unknown scale {scale!r}; choose from {_SCALES}")
+        params = self.params_for(scale)
+        unknown = set(overrides) - set(params)
+        if unknown:
+            raise ExperimentError(f"unknown parameter overrides: {sorted(unknown)}")
+        params.update(overrides)
+        ctx = ctx or RunContext(seed=0)
+        start = time.perf_counter()
+        rows, notes, extra = self._run(ctx, params)
+        elapsed = time.perf_counter() - start
+        return ExperimentResult(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            scale=scale,
+            params=params,
+            rows=rows,
+            notes=notes,
+            elapsed_s=elapsed,
+            extra=extra,
+        )
+
+
+_REGISTRY: dict[str, Experiment] = {}
+
+
+def register(exp: Experiment) -> Experiment:
+    """Add an experiment instance to the registry (import-time)."""
+    if exp.experiment_id in _REGISTRY:
+        raise ExperimentError(f"experiment {exp.experiment_id!r} already registered")
+    _REGISTRY[exp.experiment_id] = exp
+    return exp
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id (e.g. ``"table4"``, ``"fig2"``)."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def list_experiments() -> list[str]:
+    """All registered experiment ids, sorted."""
+    return sorted(_REGISTRY)

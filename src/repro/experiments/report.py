@@ -1,0 +1,50 @@
+"""Rendering experiment results as markdown / JSON."""
+
+from __future__ import annotations
+
+import json
+
+from .base import ExperimentResult
+
+__all__ = ["to_markdown", "to_json"]
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "N/A"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e4 or abs(value) < 1e-3:
+            return f"{value:.4e}"
+        return f"{value:.6g}"
+    return str(value)
+
+
+def to_markdown(result: ExperimentResult) -> str:
+    """Render a result as a GitHub-flavoured markdown report."""
+    lines = [f"## {result.title}", ""]
+    lines.append(f"*experiment id*: `{result.experiment_id}` — *scale*: `{result.scale}`"
+                 f" — *elapsed*: {result.elapsed_s:.2f}s")
+    lines.append("")
+    if result.params:
+        lines.append("**Parameters**: " + ", ".join(f"`{k}={v}`" for k, v in result.params.items()))
+        lines.append("")
+    if result.rows:
+        cols = list(result.rows[0].keys())
+        lines.append("| " + " | ".join(cols) + " |")
+        lines.append("|" + "|".join("---" for _ in cols) + "|")
+        for row in result.rows:
+            lines.append("| " + " | ".join(_fmt(row.get(c)) for c in cols) + " |")
+        lines.append("")
+    if result.notes:
+        lines.append(f"**Notes**: {result.notes}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def to_json(result: ExperimentResult, *, indent: int = 2) -> str:
+    """Serialise a result (rows, params, notes, extras) as JSON."""
+    return json.dumps(result.as_dict(), indent=indent, default=str)

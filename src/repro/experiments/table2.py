@@ -1,0 +1,40 @@
+"""Table 2 — properties of the six parallel-sum implementations.
+
+A static table: determinism, kernel count and synchronization mechanism per
+strategy.  Regenerated from the implementation classes' metadata so the
+table can never drift from the code; a test pins it against the paper.
+"""
+
+from __future__ import annotations
+
+from ..reductions import properties_table
+from ..runtime import RunContext
+from .base import Experiment, register
+
+__all__ = ["Table2Properties"]
+
+
+class Table2Properties(Experiment):
+    """Regenerates Table 2 (implementation property matrix)."""
+
+    experiment_id = "table2"
+    title = "Table 2: different implementations of the parallel sum"
+
+    def params_for(self, scale: str) -> dict:
+        return {}
+
+    def _run(self, ctx: RunContext, params: dict):
+        rows = [
+            {
+                "method": p.name.upper(),
+                "long_name": p.long_name,
+                "deterministic": "Yes" if p.deterministic else "No",
+                "n_kernels": p.n_kernels,
+                "synchronization": p.synchronization,
+            }
+            for p in properties_table()
+        ]
+        return rows, "Static metadata; matches the paper's Table 2 row for row.", {}
+
+
+register(Table2Properties())

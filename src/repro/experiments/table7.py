@@ -1,0 +1,145 @@
+"""Table 7 — GraphSAGE variability under D/ND training x inference (§V-B).
+
+N models are trained from identical initial weights on the Cora-like
+dataset; the only divergence source is the ``index_add`` aggregation
+kernel.  Four combinations are measured: deterministic/non-deterministic
+training crossed with deterministic/non-deterministic inference, with the
+D-training + D-inference output as the global reference (its own row is
+exactly 0(0), as in the paper).
+
+Also regenerates the section's prose results: per-epoch weight-Vermv drift
+(mean and std increase with epoch) and the headline "all N models have
+bitwise-unique weights after training" check.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.datasets import cora_like
+from ..metrics.array import count_variability, ermv, runs_all_unique
+from ..runtime import RunContext
+from .base import Experiment, register
+from ._gnn import gnn_training_cost_s, run_inference, train_graphsage
+
+__all__ = ["Table7GnnVariability"]
+
+
+class Table7GnnVariability(Experiment):
+    """Regenerates Table 7 (+ epoch-drift and uniqueness results)."""
+
+    experiment_id = "table7"
+    title = "Table 7: Vermv and Vc for D/ND training-inference combinations"
+
+    def params_for(self, scale: str) -> dict:
+        if scale == "paper":
+            return {
+                "num_nodes": 2708, "num_edges": 5429, "num_features": 1433,
+                "num_classes": 7, "hidden": 16, "epochs": 10, "lr": 0.01,
+                "n_models": 1000,
+            }
+        return {
+            "num_nodes": 220, "num_edges": 440, "num_features": 48,
+            "num_classes": 7, "hidden": 8, "epochs": 4, "lr": 0.01,
+            "n_models": 6,
+        }
+
+    def _run(self, ctx: RunContext, params: dict):
+        ds = cora_like(
+            num_nodes=params["num_nodes"],
+            num_edges=params["num_edges"],
+            num_features=params["num_features"],
+            num_classes=params["num_classes"],
+            ctx=ctx,
+        )
+        n_models = params["n_models"]
+
+        # Reference: deterministic training + deterministic inference.
+        ref_run = train_graphsage(
+            ds, hidden=params["hidden"], epochs=params["epochs"],
+            lr=params["lr"], deterministic=True, ctx=ctx,
+        )
+        ref_logits = run_inference(ref_run.model, ds, deterministic=True)
+
+        combos = [("D", "D"), ("D", "ND"), ("ND", "D"), ("ND", "ND")]
+        rows: list[dict] = []
+        nd_runs: list = []
+        for train_mode, infer_mode in combos:
+            ermvs, vcs = [], []
+            for m in range(n_models):
+                if train_mode == "D":
+                    run = ref_run if m == 0 else None
+                    run = run or train_graphsage(
+                        ds, hidden=params["hidden"], epochs=params["epochs"],
+                        lr=params["lr"], deterministic=True, ctx=ctx,
+                    )
+                else:
+                    run = train_graphsage(
+                        ds, hidden=params["hidden"], epochs=params["epochs"],
+                        lr=params["lr"], deterministic=False, ctx=ctx,
+                    )
+                    if infer_mode == "ND":
+                        nd_runs.append(run)
+                logits = run_inference(run.model, ds, deterministic=infer_mode == "D")
+                ermvs.append(ermv(ref_logits, logits))
+                vcs.append(count_variability(ref_logits, logits))
+            e = np.asarray(ermvs)
+            e = e[np.isfinite(e)]
+            v = np.asarray(vcs)
+            rows.append(
+                {
+                    "training": train_mode,
+                    "inference": infer_mode,
+                    "ermv_mean": float(e.mean()) if e.size else float("inf"),
+                    "ermv_std": float(e.std()) if e.size else float("nan"),
+                    "vc_mean": float(v.mean()),
+                    "vc_std": float(v.std()),
+                }
+            )
+
+        # Epoch drift + uniqueness over the ND-trained population.
+        drift_rows = []
+        if nd_runs:
+            n_epochs = params["epochs"]
+            ref_epochs = ref_run.epoch_weights
+            for ep in range(n_epochs):
+                vals = [ermv(ref_epochs[ep], r.epoch_weights[ep]) for r in nd_runs]
+                vals = np.asarray(vals)
+                vals = vals[np.isfinite(vals)]
+                drift_rows.append(
+                    {
+                        "epoch": ep + 1,
+                        "weight_ermv_mean": float(vals.mean()) if vals.size else 0.0,
+                        "weight_ermv_std": float(vals.std()) if vals.size else 0.0,
+                    }
+                )
+        all_unique = runs_all_unique([r.weights for r in nd_runs]) if len(nd_runs) > 1 else None
+        final_losses = [r.losses[-1] for r in nd_runs] or [ref_run.losses[-1]]
+
+        # Training-cost note at the paper's full-Cora dimensions (the
+        # scaled-down default graph is overhead-dominated and uninformative).
+        cost_dims = dict(
+            epochs=10, n_nodes=2708, n_directed_edges=2 * 5429,
+            n_features=1433, hidden=16, n_classes=7,
+        )
+        t_det = gnn_training_cost_s("h100", deterministic=True, **cost_dims)
+        t_nd = gnn_training_cost_s("h100", deterministic=False, **cost_dims)
+        notes = (
+            "Shape checks: D/D row is exactly 0(0); ND training dominates "
+            "the variability, ND inference adds a non-negligible amount; "
+            f"ND-trained weights all bitwise-unique: {all_unique}; "
+            f"final losses agree to ~1e-2 (spread {np.ptp(final_losses):.3e}) "
+            "despite bit-level divergence; weight Vermv mean/std grow with "
+            f"epoch. Cost-model training time: D {t_det:.3f}s vs ND {t_nd:.3f}s "
+            "(paper: 0.48 s vs 0.18 s for 10 epochs on Cora)."
+        )
+        extra = {
+            "epoch_drift": drift_rows,
+            "all_weights_unique": all_unique,
+            "final_loss_spread": float(np.ptp(final_losses)),
+            "training_cost_s": {"D": t_det, "ND": t_nd},
+        }
+        return rows, notes, extra
+
+
+register(Table7GnnVariability())

@@ -1,0 +1,61 @@
+"""Table 8 — GraphSAGE inference runtime: H100 (D/ND) vs LPU.
+
+H100 times compose the calibrated per-kernel cost model (deterministic
+``index_add`` pays its ~12x sort-based penalty, so deterministic inference
+is slower); the LPU time is the static compiler's fixed cycle count for
+the dataflow-mapped program — ~30x faster than the GPU, consistent with
+the paper and its reference [29] (Hosseini et al.).
+"""
+
+from __future__ import annotations
+
+from ..runtime import RunContext
+from .base import Experiment, register
+from ._gnn import gnn_inference_cost_us, lpu_gnn_inference_us
+
+__all__ = ["Table8GnnRuntime"]
+
+
+class Table8GnnRuntime(Experiment):
+    """Regenerates Table 8 (GraphSAGE inference runtimes)."""
+
+    experiment_id = "table8"
+    title = "Table 8: H100 and Groq runtime for GraphSAGE inference"
+
+    def params_for(self, scale: str) -> dict:
+        return {
+            "n_nodes": 2708,
+            "n_directed_edges": 2 * 5429,
+            "n_features": 1433,
+            "hidden": 16,
+            "n_classes": 7,
+        }
+
+    def _run(self, ctx: RunContext, params: dict):
+        dims = dict(
+            n_nodes=params["n_nodes"],
+            n_directed_edges=params["n_directed_edges"],
+            n_features=params["n_features"],
+            hidden=params["hidden"],
+            n_classes=params["n_classes"],
+        )
+        t_d = gnn_inference_cost_us("h100", deterministic=True, **dims)
+        t_nd = gnn_inference_cost_us("h100", deterministic=False, **dims)
+        t_lpu = lpu_gnn_inference_us(**dims)
+        rows = [
+            {"inference": "Deterministic", "h100_ms": t_d / 1e3, "groq_ms": t_lpu / 1e3,
+             "paper_h100_ms": 3.92, "paper_groq_ms": 0.066},
+            {"inference": "Non-deterministic", "h100_ms": t_nd / 1e3, "groq_ms": None,
+             "paper_h100_ms": 2.17, "paper_groq_ms": None},
+        ]
+        speedup = t_nd / t_lpu
+        notes = (
+            "Shape checks: deterministic inference slower than ND on the GPU "
+            "(index_add sort fallback); the LPU is "
+            f"~{speedup:.0f}x faster than the fastest GPU configuration "
+            "(paper: ~30x); the LPU entry is a single fixed number."
+        )
+        return rows, notes, {"lpu_speedup_vs_gpu": speedup}
+
+
+register(Table8GnnRuntime())

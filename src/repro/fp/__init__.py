@@ -1,0 +1,70 @@
+"""Floating-point summation algorithms and FPNA analysis tools.
+
+This package is the numerical substrate for the paper's Section III:
+
+* :mod:`repro.fp.summation` — ordered folds (serial, reverse, permuted),
+  pairwise/tree reduction, blocked reductions matching the GPU algorithms.
+* :mod:`repro.fp.compensated` — error-free transformations (TwoSum), Kahan
+  and Neumaier compensated sums, and an exact ``fsum`` reference.
+* :mod:`repro.fp.permutation` — the Table 1 experiment primitive: the effect
+  of random permutations on a serial sum.
+* :mod:`repro.fp.ulp` — ULP utilities and bit-pattern helpers used by tests
+  and by the variability analyses.
+"""
+
+from .summation import (
+    serial_sum,
+    reverse_sum,
+    permuted_sum,
+    pairwise_sum,
+    blocked_pairwise_sum,
+    block_partials,
+    tree_fold,
+)
+from .compensated import (
+    two_sum,
+    fast_two_sum,
+    kahan_sum,
+    neumaier_sum,
+    exact_sum,
+    sorted_sum,
+)
+from .permutation import PermutationEffect, permutation_effects, permutation_spread
+from .ulp import ulp, ulp_distance, bits_of, relative_error_in_ulps
+from .analysis import (
+    SummationBounds,
+    bounds_for,
+    expected_vs_std,
+    serial_error_bound,
+    summation_condition_number,
+    tree_error_bound,
+)
+
+__all__ = [
+    "serial_sum",
+    "reverse_sum",
+    "permuted_sum",
+    "pairwise_sum",
+    "blocked_pairwise_sum",
+    "block_partials",
+    "tree_fold",
+    "two_sum",
+    "fast_two_sum",
+    "kahan_sum",
+    "neumaier_sum",
+    "exact_sum",
+    "sorted_sum",
+    "PermutationEffect",
+    "permutation_effects",
+    "permutation_spread",
+    "ulp",
+    "ulp_distance",
+    "bits_of",
+    "relative_error_in_ulps",
+    "SummationBounds",
+    "bounds_for",
+    "expected_vs_std",
+    "serial_error_bound",
+    "summation_condition_number",
+    "tree_error_bound",
+]

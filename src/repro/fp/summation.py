@@ -1,0 +1,213 @@
+"""Ordered floating-point folds and tree reductions.
+
+Floating-point addition is commutative but **not associative**: the value of
+``sum(x)`` depends on the association order.  Every algorithm here computes
+the same mathematical sum with a *different, precisely specified* order:
+
+* :func:`serial_sum` — left fold in storage order (the sequential reference
+  ``S_D`` of the paper).
+* :func:`permuted_sum` — left fold after applying a permutation (the model
+  of an asynchronous reduction, ``S_ND``).
+* :func:`pairwise_sum` — balanced binary tree (the GPU shared-memory
+  reduction; also NumPy's own strategy, but implemented explicitly so the
+  association order is under our control, not NumPy's block size).
+* :func:`block_partials` / :func:`blocked_pairwise_sum` — the two-stage GPU
+  scheme: per-thread-block tree reduction followed by a combine stage.
+
+All folds use IEEE-754 arithmetic via NumPy; results are bit-exact functions
+of the association order, which is what makes the variability experiments
+meaningful.
+
+Implementation notes
+--------------------
+Strictly-ordered folds use :func:`numpy.add.reduce` on a 1-D array, which
+NumPy documents/implements as pairwise **only** through ``np.sum``'s
+``add.reduce`` fast path; to guarantee a *sequential* left fold regardless of
+NumPy version we use ``np.add.accumulate`` (cumulative sum is inherently
+sequential) and take the last element.  For the tree reductions we reshape
+to powers of two and halve, which vectorises the per-level adds while fixing
+the association order exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+
+__all__ = [
+    "serial_sum",
+    "reverse_sum",
+    "permuted_sum",
+    "pairwise_sum",
+    "blocked_pairwise_sum",
+    "block_partials",
+    "tree_fold",
+]
+
+
+def _as_1d(x) -> np.ndarray:
+    arr = np.asarray(x)
+    if arr.ndim != 1:
+        raise ShapeError(f"expected a 1-D array, got shape {arr.shape}")
+    if not np.issubdtype(arr.dtype, np.floating):
+        arr = arr.astype(np.float64)
+    return arr
+
+
+def serial_sum(x) -> float:
+    """Strict left-to-right fold: ``((x0 + x1) + x2) + ...``.
+
+    This is the deterministic reference ``S_D`` in the paper's Table 1.
+    Returns the input dtype's value as a Python float (bit pattern preserved
+    for float64; float32 folds are computed in float32 then widened).
+    """
+    arr = _as_1d(x)
+    if arr.size == 0:
+        return 0.0
+    # np.add.accumulate is a strictly sequential scan by definition.
+    return float(np.add.accumulate(arr)[-1])
+
+
+def reverse_sum(x) -> float:
+    """Strict right-to-left fold — the simplest non-trivial reordering."""
+    arr = _as_1d(x)
+    if arr.size == 0:
+        return 0.0
+    return float(np.add.accumulate(arr[::-1])[-1])
+
+
+def permuted_sum(x, permutation) -> float:
+    """Left fold of ``x[permutation]`` — the paper's model of an
+    asynchronous (unspecified-order) reduction ``S_ND``.
+
+    Parameters
+    ----------
+    x:
+        1-D float array.
+    permutation:
+        Integer array containing each index exactly once.  Validated (cheap
+        relative to the fold) because a silent double-count would corrupt
+        every downstream variability statistic.
+    """
+    arr = _as_1d(x)
+    perm = np.asarray(permutation)
+    if perm.shape != arr.shape:
+        raise ShapeError(f"permutation shape {perm.shape} != data shape {arr.shape}")
+    if arr.size and (perm.min() < 0 or perm.max() >= arr.size):
+        raise ConfigurationError("permutation contains out-of-range indices")
+    if arr.size == 0:
+        return 0.0
+    return float(np.add.accumulate(arr[perm])[-1])
+
+
+def tree_fold(x) -> float:
+    """Balanced binary-tree reduction of a 1-D array.
+
+    Pads with zeros to the next power of two (adding a zero is exact in
+    IEEE-754, so padding never changes the result), then repeatedly adds the
+    upper half onto the lower half — exactly the shared-memory loop of the
+    paper's Listing 1 (``smem[i] += smem[i + offset]``).
+    """
+    arr = _as_1d(x)
+    n = arr.size
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return float(arr[0])
+    p = 1 << (int(n - 1).bit_length())
+    buf = np.zeros(p, dtype=arr.dtype)
+    buf[:n] = arr
+    half = p // 2
+    while half >= 1:
+        buf[:half] = buf[:half] + buf[half : 2 * half]
+        half //= 2
+    return float(buf[0])
+
+
+def pairwise_sum(x, block: int = 1) -> float:
+    """Tree reduction with an optional serial base case of ``block`` leaves.
+
+    ``block=1`` is the pure tree (:func:`tree_fold`).  Larger blocks model
+    per-thread serial accumulation before the tree combine — the usual GPU
+    kernel structure when there are more elements than threads.
+    """
+    arr = _as_1d(x)
+    if block < 1:
+        raise ConfigurationError(f"block must be >= 1, got {block}")
+    if block == 1:
+        return tree_fold(arr)
+    n = arr.size
+    if n == 0:
+        return 0.0
+    n_chunks = (n + block - 1) // block
+    pad = n_chunks * block - n
+    buf = np.zeros(n_chunks * block, dtype=arr.dtype)
+    buf[:n] = arr
+    # Serial fold within each chunk (vectorised across chunks via cumsum on
+    # the trailing axis), then a tree over chunk partials.
+    chunks = buf.reshape(n_chunks, block)
+    partials = np.add.accumulate(chunks, axis=1)[:, -1]
+    del pad
+    return tree_fold(partials)
+
+
+def block_partials(x, n_blocks: int, block_size: int | None = None) -> np.ndarray:
+    """Stage 1 of the GPU two-stage reduction: per-block tree partials.
+
+    The array is split into ``n_blocks`` contiguous tiles (the data-blocking
+    of §III-A); each tile is reduced with the shared-memory tree algorithm.
+    Tiles are padded with exact zeros.
+
+    Parameters
+    ----------
+    x:
+        1-D array.
+    n_blocks:
+        Number of thread blocks (``Nb``).
+    block_size:
+        Elements per tile; default ``ceil(n / n_blocks)``.  When given, it
+        must satisfy ``n_blocks * block_size >= n``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``n_blocks`` partial sums, in block-index order, dtype preserved.
+    """
+    arr = _as_1d(x)
+    if n_blocks < 1:
+        raise ConfigurationError(f"n_blocks must be >= 1, got {n_blocks}")
+    n = arr.size
+    if block_size is None:
+        block_size = max(1, (n + n_blocks - 1) // n_blocks)
+    if block_size < 1:
+        raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
+    if n_blocks * block_size < n:
+        raise ConfigurationError(
+            f"n_blocks*block_size = {n_blocks * block_size} cannot cover {n} elements"
+        )
+    p = 1 << (int(max(block_size - 1, 0)).bit_length() or 1)
+    buf = np.zeros((n_blocks, p), dtype=arr.dtype)
+    # Fill via a contiguous staging buffer: slicing buf[:, :block_size]
+    # and reshaping would copy (non-contiguous view), losing the writes.
+    staged = np.zeros(n_blocks * block_size, dtype=arr.dtype)
+    staged[:n] = arr
+    buf[:, :block_size] = staged.reshape(n_blocks, block_size)
+    # Tree reduction across the tile axis, all blocks in lockstep — this is
+    # exactly the __syncthreads-separated halving loop, vectorised.
+    half = p // 2
+    while half >= 1:
+        buf[:, :half] = buf[:, :half] + buf[:, half : 2 * half]
+        half //= 2
+    return buf[:, 0].copy()
+
+
+def blocked_pairwise_sum(x, n_blocks: int, block_size: int | None = None) -> float:
+    """Deterministic two-stage reduction: tree partials + tree combine.
+
+    This is the arithmetic performed by the paper's SPTR implementation
+    (single-pass with tree reduction): the same block-tree algorithm is
+    applied to the partial-sum array.
+    """
+    partials = block_partials(x, n_blocks, block_size)
+    return tree_fold(partials)

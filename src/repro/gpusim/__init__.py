@@ -1,0 +1,54 @@
+"""Discrete GPU execution model.
+
+The paper's variability results depend on GPU hardware only through **the
+order in which floating-point additions retire**.  This package models
+exactly that layer:
+
+* :mod:`repro.gpusim.device` — device specifications (V100, GH200, MI250X,
+  H100 and the host CPU) with the microarchitectural parameters the order
+  and cost models need.
+* :mod:`repro.gpusim.occupancy` — resident-block calculations.
+* :mod:`repro.gpusim.kernel` — launch-configuration validation (grid/block
+  dimensions, shared memory), mirroring CUDA launch semantics.
+* :mod:`repro.gpusim.scheduler` — the arrival-time sampler: wave-based block
+  dispatch, per-warp issue order, completion jitter, and contention
+  serialization.  Non-deterministic reductions sample their addition order
+  here.
+* :mod:`repro.gpusim.atomics` — atomic accumulation in arrival order, plus
+  the retirement-counter (`__threadfence`) primitive used by SPRG/SPTR.
+* :mod:`repro.gpusim.stream` — streams with in-order launch semantics and
+  host synchronisation points (the TPRC mechanism).
+* :mod:`repro.gpusim.costmodel` — analytic timing model calibrated against
+  the paper's Table 4 / 6 / 8 measurements.
+"""
+
+from .device import DeviceSpec, get_device, list_devices, register_device
+from .occupancy import resident_blocks, waves_for
+from .kernel import LaunchConfig
+from .scheduler import WaveScheduler, SchedulerParams
+from .atomics import AtomicAccumulator, RetirementCounter, atomic_fold
+from .stream import Stream, Event
+from .costmodel import CostModel, TimingSample
+from .memory import GlobalMemory, SharedMemory, RaceRecord
+
+__all__ = [
+    "DeviceSpec",
+    "get_device",
+    "list_devices",
+    "register_device",
+    "resident_blocks",
+    "waves_for",
+    "LaunchConfig",
+    "WaveScheduler",
+    "SchedulerParams",
+    "AtomicAccumulator",
+    "RetirementCounter",
+    "atomic_fold",
+    "Stream",
+    "Event",
+    "CostModel",
+    "TimingSample",
+    "GlobalMemory",
+    "SharedMemory",
+    "RaceRecord",
+]

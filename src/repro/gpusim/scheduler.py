@@ -1,0 +1,249 @@
+"""Arrival-time sampling: which addition order does a launch produce?
+
+Model
+-----
+A grid of ``Nb`` blocks executes in **waves** of at most ``resident_blocks``
+(occupancy).  The runtime assigns blocks to execution slots round-robin
+starting from an arbitrary **rotation** offset (real schedulers start from
+whichever SM frees first; the offset is the per-run "global scheduling
+mode").  Within a wave, block completion times carry log-normal jitter.
+Threads inside a block issue warp by warp; lanes within a warp retire in
+lane order (hardware serializes same-address atomics from one warp in a
+fixed order).
+
+**Contention serialization** is the single mechanism that explains both of
+the paper's distribution shapes (Figs 1–2) and the scatter/`index_add`
+trends (Figs 3–5): when many atomics target one address, the memory
+partition drains a full queue whose order is dominated by deterministic
+issue order — so *high contention suppresses reordering*.  The ``contention``
+argument (0 = uncontended, fully jittered; 1 = fully serialized, issue
+order modulo the rotation mode) scales the jitter accordingly:
+
+* SPA issues ~``Nb`` partial-sum atomics spread over the kernel — low
+  contention → near-uniform permutations → ``Vs`` asymptotically normal
+  (Fig 1).
+* AO issues ``n`` atomics back-to-back — maximal contention → the order is
+  almost a pure function of the discrete rotation mode → ``Vs`` follows a
+  spiky mixture, not a normal (Fig 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SchedulerError
+from .kernel import LaunchConfig
+
+__all__ = ["SchedulerParams", "WaveScheduler"]
+
+
+@dataclass(frozen=True)
+class SchedulerParams:
+    """Tunable knobs of the arrival-time model.
+
+    Attributes
+    ----------
+    block_jitter:
+        Log-normal sigma of block completion time (uncontended).
+    warp_jitter:
+        Log-normal sigma of warp issue time within a block.
+    rotation:
+        Sample a random round-robin starting offset per run.  This is the
+        discrete "scheduling mode" that makes fully-serialized (AO) runs
+        multi-modal.
+    residual_jitter:
+        Fraction of jitter that survives even at contention = 1 (queues are
+        not perfectly FIFO).
+    """
+
+    block_jitter: float = 0.25
+    warp_jitter: float = 0.10
+    rotation: bool = True
+    residual_jitter: float = 0.005
+    straggler_rate: float = 2.0
+    straggler_delay: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.block_jitter < 0 or self.warp_jitter < 0:
+            raise SchedulerError("jitter parameters must be non-negative")
+        if not 0.0 <= self.residual_jitter <= 1.0:
+            raise SchedulerError("residual_jitter must be in [0, 1]")
+        if self.straggler_rate < 0 or self.straggler_delay < 0:
+            raise SchedulerError("straggler parameters must be non-negative")
+
+
+class WaveScheduler:
+    """Samples execution orders for one simulated run of a launch.
+
+    Parameters
+    ----------
+    launch:
+        Validated launch configuration.
+    rng:
+        The per-run scheduler stream (see
+        :meth:`repro.runtime.RunContext.scheduler`).  Passing the same
+        generator state reproduces the same "non-deterministic" run.
+    params:
+        Model knobs; defaults are calibrated in the fig1/fig2 experiments.
+    """
+
+    def __init__(
+        self,
+        launch: LaunchConfig,
+        rng: np.random.Generator,
+        params: SchedulerParams | None = None,
+    ) -> None:
+        self.launch = launch
+        self.rng = rng
+        if params is None:
+            # Scale the default jitter by the device's scheduling noise
+            # (calibrated on the V100's 0.08): GH200/MI250X schedules are
+            # noisier, shifting the Vs moments per family (paper SIII-C,
+            # "means and standard deviations ... different between the GPU
+            # types").
+            rel = launch.device.sched_jitter / 0.08 if launch.device.sched_jitter else 1.0
+            base = SchedulerParams()
+            params = SchedulerParams(
+                block_jitter=base.block_jitter * rel,
+                warp_jitter=base.warp_jitter * rel,
+                rotation=base.rotation,
+                residual_jitter=base.residual_jitter,
+                straggler_rate=base.straggler_rate,
+                straggler_delay=base.straggler_delay,
+            )
+        self.params = params
+        if launch.device.deterministic:
+            # Statically scheduled hardware: no jitter, no rotation.
+            self.params = SchedulerParams(
+                block_jitter=0.0, warp_jitter=0.0, rotation=False, residual_jitter=0.0
+            )
+
+    # ----------------------------------------------------------------- waves
+    def _effective_jitter(self, base: float, contention: float) -> float:
+        if not 0.0 <= contention <= 1.0:
+            raise SchedulerError(f"contention must be in [0, 1], got {contention}")
+        floor = self.params.residual_jitter * base
+        return floor + (base - floor) * (1.0 - contention)
+
+    def _rotation(self, nb: int) -> int:
+        """Sample the discrete dispatch mode: the round-robin start SM.
+
+        Real block dispatch round-robins across GPCs starting from
+        whichever cluster frees first, so the issue order is a block-index
+        rotation at GPC granularity — a small *discrete* set of modes
+        (``num_gpcs`` of them).  Under full contention this mode is nearly
+        the only thing that varies between runs, which produces the
+        paper's spiky Fig-2 mixture.
+        """
+        if not self.params.rotation:
+            return 0
+        dev = self.launch.device
+        per_gpc = max(1, self.launch.resident_blocks // dev.num_gpcs)
+        gpc = int(self.rng.integers(dev.num_gpcs))
+        return (gpc * per_gpc) % max(nb, 1)
+
+    def block_arrival_times(self, contention: float = 0.0) -> np.ndarray:
+        """Completion time of every block, in block-index order.
+
+        ``arrival[b] = slot(b) / resident + work * lognormal(sigma_eff)``:
+        the first term is the (rotated) issue time — wave ``w`` spans
+        ``[w, w+1)`` — and the second is the jittered execution time, with
+        contention shrinking the jitter toward the residual floor.
+        """
+        nb = self.launch.n_blocks
+        res = self.launch.resident_blocks
+        if res < 1:
+            raise SchedulerError("resident block count must be >= 1")
+        rot = self._rotation(nb)
+        slots = (np.arange(nb) + rot) % max(nb, 1)
+        issue = slots.astype(np.float64) / res
+        sigma = self._effective_jitter(self.params.block_jitter, contention)
+        if sigma > 0:
+            work = self.rng.lognormal(mean=0.0, sigma=sigma, size=nb)
+        else:
+            work = np.ones(nb)
+        times = issue + work
+        # Stragglers: a Poisson handful of blocks stalls far past the pack
+        # (cache-miss storms, ECC scrubs).  Under low contention this is
+        # absorbed by the jitter; under full contention it is the only
+        # non-discrete perturbation left, giving AO's variability its heavy
+        # non-Gaussian tail (Fig 2).
+        if self.params.straggler_rate > 0 and nb > 1:
+            k = min(int(self.rng.poisson(self.params.straggler_rate)), nb - 1)
+            if k:
+                lagged = self.rng.choice(nb, size=k, replace=False)
+                times[lagged] += self.params.straggler_delay * (
+                    1.0 + self.rng.standard_exponential(k)
+                )
+        return times
+
+    def block_completion_order(self, contention: float = 0.0) -> np.ndarray:
+        """Permutation: block indices sorted by completion time.
+
+        This is the order in which SPA's per-block partial sums hit the
+        accumulator.
+        """
+        times = self.block_arrival_times(contention)
+        return np.argsort(times, kind="stable")
+
+    # --------------------------------------------------------------- threads
+    def thread_retirement_order(
+        self, n_elements: int, contention: float = 1.0
+    ) -> np.ndarray:
+        """Permutation of element indices in atomic-retirement order (AO).
+
+        Element ``i`` is handled by thread ``i`` (``tid = threadIdx +
+        blockIdx * blockDim``); its atomic retires at::
+
+            block_arrival(block(i)) + warp_slot(i) * lognormal(sigma_w) + lane_eps
+
+        Lanes inside a warp keep their hardware serialization order.  With
+        ``contention = 1`` (AO's regime) the jitters collapse to the
+        residual floor, so the order is essentially the rotated issue order
+        — the discrete-mode mixture of Fig 2.
+        """
+        if n_elements < 1:
+            raise SchedulerError(f"n_elements must be >= 1, got {n_elements}")
+        if n_elements > self.launch.total_threads:
+            raise SchedulerError(
+                f"{n_elements} elements exceed grid capacity "
+                f"{self.launch.total_threads}"
+            )
+        tpb = self.launch.threads_per_block
+        warp = self.launch.device.warp_size
+        warps_per_block = max(1, (tpb + warp - 1) // warp)
+        nb = self.launch.n_blocks
+
+        block_t = self.block_arrival_times(contention)  # (nb,)
+        sigma_w = self._effective_jitter(self.params.warp_jitter, contention)
+        if sigma_w > 0:
+            warp_noise = self.rng.lognormal(0.0, sigma_w, size=(nb, warps_per_block))
+        else:
+            warp_noise = np.ones((nb, warps_per_block))
+        warp_slot = (np.arange(warps_per_block) + 1.0) / warps_per_block
+        warp_t = block_t[:, None] + (warp_slot[None, :] * warp_noise) * 0.5
+
+        idx = np.arange(n_elements)
+        b = idx // tpb
+        w = (idx % tpb) // warp
+        lane = idx % warp
+        # lane epsilon keeps intra-warp order deterministic and stable.
+        t = warp_t[b, w] + lane * 1e-9
+        return np.argsort(t, kind="stable")
+
+    # ------------------------------------------------------------- utilities
+    def displacement_stats(self, order: np.ndarray) -> dict:
+        """Diagnostics: how far the sampled order strays from identity.
+
+        Returns mean/max absolute displacement normalised by length — used
+        by tests to verify the contention knob monotonically suppresses
+        reordering.
+        """
+        n = order.size
+        disp = np.abs(order - np.arange(n))
+        return {
+            "mean": float(disp.mean() / max(n, 1)),
+            "max": float(disp.max() / max(n, 1)) if n else 0.0,
+        }

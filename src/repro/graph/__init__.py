@@ -1,0 +1,6 @@
+"""Graph data structures and synthetic datasets for the GNN experiments."""
+
+from .graph import Graph
+from .datasets import CoraLike, cora_like, train_val_test_split
+
+__all__ = ["Graph", "CoraLike", "cora_like", "train_val_test_split"]

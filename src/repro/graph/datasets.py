@@ -1,0 +1,174 @@
+"""Synthetic Cora-like citation dataset (DESIGN.md substitution).
+
+The real Cora dataset is not available offline; the paper's GNN
+experiments measure *run-to-run variability on identical inputs*, which
+any fixed graph of the same shape exercises.  :func:`cora_like` generates,
+from the run context's stable data stream:
+
+* 2 708 nodes in 7 classes (Cora's class proportions approximated),
+* 5 429 undirected edges with strong class assortativity (citations mostly
+  link same-topic papers) over a preferential-attachment backbone,
+* 1 433-dimensional sparse binary features whose active-word distribution
+  is class-conditioned (so the classification task is learnable),
+* the standard 140/500/1000 train/val/test split sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, GraphError
+from ..runtime import RunContext, get_context
+from .graph import Graph
+
+__all__ = ["CoraLike", "cora_like", "train_val_test_split"]
+
+#: Published Cora shape.
+CORA_NODES = 2708
+CORA_EDGES = 5429
+CORA_FEATURES = 1433
+CORA_CLASSES = 7
+
+
+@dataclass(frozen=True)
+class CoraLike:
+    """A generated citation-graph dataset.
+
+    Attributes
+    ----------
+    graph:
+        The undirected citation graph.
+    features:
+        ``(N, F)`` float32 binary bag-of-words features.
+    labels:
+        ``(N,)`` int64 class ids.
+    train_mask, val_mask, test_mask:
+        Boolean node masks.
+    """
+
+    graph: Graph
+    features: np.ndarray
+    labels: np.ndarray
+    train_mask: np.ndarray
+    val_mask: np.ndarray
+    test_mask: np.ndarray
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_features(self) -> int:
+        return self.features.shape[1]
+
+    @property
+    def num_classes(self) -> int:
+        return int(self.labels.max()) + 1
+
+
+def train_val_test_split(
+    n: int,
+    n_train: int,
+    n_val: int,
+    n_test: int,
+    rng: np.random.Generator,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Disjoint boolean masks over ``n`` nodes."""
+    if n_train + n_val + n_test > n:
+        raise ConfigurationError(
+            f"split sizes {n_train}+{n_val}+{n_test} exceed {n} nodes"
+        )
+    perm = rng.permutation(n)
+    train = np.zeros(n, dtype=bool)
+    val = np.zeros(n, dtype=bool)
+    test = np.zeros(n, dtype=bool)
+    train[perm[:n_train]] = True
+    val[perm[n_train : n_train + n_val]] = True
+    test[perm[n_train + n_val : n_train + n_val + n_test]] = True
+    return train, val, test
+
+
+def cora_like(
+    *,
+    num_nodes: int = CORA_NODES,
+    num_edges: int = CORA_EDGES,
+    num_features: int = CORA_FEATURES,
+    num_classes: int = CORA_CLASSES,
+    assortativity: float = 0.8,
+    words_per_doc: int = 18,
+    ctx: RunContext | None = None,
+) -> CoraLike:
+    """Generate the dataset; fully determined by the context's data stream.
+
+    Parameters
+    ----------
+    assortativity:
+        Probability a citation stays within its class.
+    words_per_doc:
+        Mean active features per node (Cora documents are sparse).
+    """
+    if num_classes < 2:
+        raise ConfigurationError("need at least two classes")
+    max_undirected = num_nodes * (num_nodes - 1) // 2
+    if num_edges > max_undirected:
+        raise GraphError(f"{num_edges} edges impossible on {num_nodes} nodes")
+    ctx = ctx or get_context()
+    rng = ctx.data(stream=0xC02A)
+
+    # Class sizes: Dirichlet-ish proportions, stable given the stream.
+    props = rng.dirichlet(np.full(num_classes, 8.0))
+    labels = rng.choice(num_classes, size=num_nodes, p=props).astype(np.int64)
+
+    # Edges: preferential attachment within class (assortative), across
+    # classes otherwise; rejection-sample duplicates/self-loops.
+    by_class = [np.flatnonzero(labels == c) for c in range(num_classes)]
+    # Guard degenerate classes (possible at tiny num_nodes in tests).
+    by_class = [ids if ids.size else np.arange(num_nodes) for ids in by_class]
+    seen: set[tuple[int, int]] = set()
+    edges = np.empty((num_edges, 2), dtype=np.int64)
+    count = 0
+    degree_bias = np.ones(num_nodes)
+    while count < num_edges:
+        u = int(rng.integers(num_nodes))
+        same = rng.random() < assortativity
+        pool = by_class[labels[u]] if same else np.arange(num_nodes)
+        w = degree_bias[pool]
+        v = int(rng.choice(pool, p=w / w.sum()))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in seen:
+            continue
+        seen.add(key)
+        edges[count] = key
+        degree_bias[u] += 1.0
+        degree_bias[v] += 1.0
+        count += 1
+    graph = Graph(num_nodes, edges)
+
+    # Features: each class owns a soft topic distribution over the word
+    # vocabulary; documents activate ~words_per_doc class-biased words.
+    topic = rng.dirichlet(np.full(num_features, 0.05), size=num_classes)
+    features = np.zeros((num_nodes, num_features), dtype=np.float32)
+    n_words = np.maximum(1, rng.poisson(words_per_doc, size=num_nodes))
+    for i in range(num_nodes):
+        words = rng.choice(num_features, size=int(n_words[i]), p=topic[labels[i]])
+        features[i, words] = 1.0
+
+    train, val, test = train_val_test_split(
+        num_nodes,
+        min(140, num_nodes // 4),
+        min(500, num_nodes // 4),
+        min(1000, num_nodes // 3),
+        rng,
+    )
+    return CoraLike(
+        graph=graph,
+        features=features,
+        labels=labels,
+        train_mask=train,
+        val_mask=val,
+        test_mask=test,
+    )

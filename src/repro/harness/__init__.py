@@ -1,0 +1,7 @@
+"""Sweep, timing and CLI utilities for running the experiments."""
+
+from .sweep import grid, Sweep
+from .timing import time_callable, TimingStats
+from .results import save_result, load_result
+
+__all__ = ["grid", "Sweep", "time_callable", "TimingStats", "save_result", "load_result"]

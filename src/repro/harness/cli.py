@@ -1,0 +1,80 @@
+"""Command-line interface: ``repro-experiments``.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments run table1 [--scale default|paper] [--seed N]
+                                 [--json] [--out DIR]
+    repro-experiments run-all [--scale default] [--out DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..errors import ReproError
+from ..experiments import get_experiment, list_experiments, to_json, to_markdown
+from ..runtime import RunContext
+from .results import save_result
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list experiment ids")
+
+    run = sub.add_parser("run", help="run one experiment")
+    run.add_argument("experiment_id", help="e.g. table1, fig3, maxvs")
+    run.add_argument("--scale", default="default", choices=("default", "paper"))
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--json", action="store_true", help="print JSON instead of markdown")
+    run.add_argument("--out", default=None, help="directory to archive the result JSON")
+
+    runall = sub.add_parser("run-all", help="run every experiment")
+    runall.add_argument("--scale", default="default", choices=("default", "paper"))
+    runall.add_argument("--seed", type=int, default=0)
+    runall.add_argument("--out", default=None)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "list":
+            for eid in list_experiments():
+                exp = get_experiment(eid)
+                print(f"{eid:10s} {exp.title}")
+            return 0
+        if args.command == "run":
+            exp = get_experiment(args.experiment_id)
+            result = exp.run(scale=args.scale, ctx=RunContext(seed=args.seed))
+            print(to_json(result) if args.json else to_markdown(result))
+            if args.out:
+                path = save_result(result, args.out)
+                print(f"[saved {path}]", file=sys.stderr)
+            return 0
+        if args.command == "run-all":
+            for eid in list_experiments():
+                exp = get_experiment(eid)
+                result = exp.run(scale=args.scale, ctx=RunContext(seed=args.seed))
+                print(to_markdown(result))
+                if args.out:
+                    save_result(result, args.out)
+            return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 2  # pragma: no cover - unreachable with required subparsers
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,41 @@
+"""Result persistence (JSON archives of experiment runs)."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ExperimentError
+from ..experiments.base import ExperimentResult
+
+__all__ = ["save_result", "load_result"]
+
+
+def save_result(result: ExperimentResult, directory: str | Path) -> Path:
+    """Write ``<id>_<scale>.json`` into ``directory``; returns the path."""
+    d = Path(directory)
+    d.mkdir(parents=True, exist_ok=True)
+    path = d / f"{result.experiment_id}_{result.scale}.json"
+    path.write_text(json.dumps(result.as_dict(), indent=2, default=str))
+    return path
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    """Load a previously saved result."""
+    p = Path(path)
+    if not p.exists():
+        raise ExperimentError(f"no result file at {p}")
+    data = json.loads(p.read_text())
+    try:
+        return ExperimentResult(
+            experiment_id=data["experiment_id"],
+            title=data["title"],
+            scale=data["scale"],
+            params=data["params"],
+            rows=data["rows"],
+            notes=data.get("notes", ""),
+            elapsed_s=data.get("elapsed_s", 0.0),
+            extra=data.get("extra", {}),
+        )
+    except KeyError as exc:
+        raise ExperimentError(f"malformed result file {p}: missing {exc}") from exc

@@ -1,0 +1,66 @@
+"""Parameter-sweep helpers."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from ..errors import ConfigurationError
+
+__all__ = ["grid", "Sweep"]
+
+
+def grid(**axes) -> Iterator[dict[str, Any]]:
+    """Cartesian product of named parameter axes as dicts.
+
+    >>> list(grid(a=[1, 2], b=["x"]))
+    [{'a': 1, 'b': 'x'}, {'a': 2, 'b': 'x'}]
+    """
+    if not axes:
+        yield {}
+        return
+    names = list(axes)
+    for values in itertools.product(*(axes[n] for n in names)):
+        yield dict(zip(names, values))
+
+
+@dataclass
+class Sweep:
+    """A named sweep: axes + a runner, collecting one row per point.
+
+    Parameters
+    ----------
+    name:
+        Sweep identifier (used in error messages / reports).
+    axes:
+        Mapping of parameter name to iterable of values.
+    runner:
+        ``runner(**point) -> dict`` producing a result row; the point's
+        parameters are merged into the row.
+    """
+
+    name: str
+    axes: dict[str, list]
+    runner: Callable[..., dict]
+    rows: list[dict] = field(default_factory=list)
+
+    def run(self, *, limit: int | None = None) -> list[dict]:
+        """Execute the sweep; returns (and stores) the rows."""
+        if not callable(self.runner):
+            raise ConfigurationError(f"sweep {self.name!r}: runner must be callable")
+        self.rows = []
+        for i, point in enumerate(grid(**self.axes)):
+            if limit is not None and i >= limit:
+                break
+            row = self.runner(**point)
+            if not isinstance(row, dict):
+                raise ConfigurationError(
+                    f"sweep {self.name!r}: runner must return a dict, got {type(row).__name__}"
+                )
+            self.rows.append({**point, **row})
+        return self.rows
+
+    def column(self, key: str) -> list:
+        """Extract one column from the collected rows."""
+        return [row[key] for row in self.rows]

@@ -1,0 +1,54 @@
+"""Wall-clock timing helpers (complementing the simulated cost models).
+
+The experiments report *simulated* device times; the benchmarks also report
+*real* wall-clock of the simulator itself via pytest-benchmark.  These
+helpers cover ad-hoc timing needs (examples, the CLI) with basic repeated
+-measurement statistics.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+__all__ = ["TimingStats", "time_callable"]
+
+
+@dataclass(frozen=True)
+class TimingStats:
+    """Repeated-measurement wall-clock statistics (seconds)."""
+
+    mean_s: float
+    std_s: float
+    min_s: float
+    max_s: float
+    n: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.mean_s * 1e3:.3f} ms +- {self.std_s * 1e3:.3f} ms (n={self.n})"
+
+
+def time_callable(fn, *args, repeats: int = 5, warmup: int = 1, **kwargs) -> TimingStats:
+    """Time ``fn(*args, **kwargs)`` with warmup and repetition."""
+    if repeats < 1:
+        raise ConfigurationError(f"repeats must be >= 1, got {repeats}")
+    if warmup < 0:
+        raise ConfigurationError(f"warmup must be >= 0, got {warmup}")
+    for _ in range(warmup):
+        fn(*args, **kwargs)
+    obs = np.empty(repeats)
+    for i in range(repeats):
+        t0 = time.perf_counter()
+        fn(*args, **kwargs)
+        obs[i] = time.perf_counter() - t0
+    return TimingStats(
+        mean_s=float(obs.mean()),
+        std_s=float(obs.std(ddof=1)) if repeats > 1 else 0.0,
+        min_s=float(obs.min()),
+        max_s=float(obs.max()),
+        n=repeats,
+    )

@@ -1,0 +1,31 @@
+"""Statically-scheduled deterministic accelerator model (Groq LPU analogue).
+
+The paper evaluates the Groq LPU as a *hardware* route to reproducibility:
+the chip's functional units run on a software-defined static schedule, so
+the cycle-by-cycle execution — and therefore both the arithmetic order and
+the runtime — is known at compile time (Abts et al., ISCA'20).  This
+package models the two properties that matter:
+
+* **Determinism by construction** — :class:`~repro.lpu.runtime.LPUExecutor`
+  runs every kernel through the deterministic paths of :mod:`repro.ops` in
+  a compile-time-fixed order; repeated runs are bitwise identical.
+* **Ahead-of-time runtime** — :class:`~repro.lpu.compiler.LPUCompiler`
+  list-schedules the op graph onto functional units (MXM matrix unit, VXM
+  vector unit, SXM switch unit, MEM) and reports a deterministic cycle
+  count; the paper reports LPU runtimes as fixed numbers for exactly this
+  reason.
+"""
+
+from .device import LPU_DEVICE, LPU_CLOCK_GHZ
+from .compiler import LPUCompiler, OpNode, Program, CompiledProgram
+from .runtime import LPUExecutor
+
+__all__ = [
+    "LPU_DEVICE",
+    "LPU_CLOCK_GHZ",
+    "LPUCompiler",
+    "OpNode",
+    "Program",
+    "CompiledProgram",
+    "LPUExecutor",
+]

@@ -1,0 +1,81 @@
+"""Scalar variability metric ``Vs`` (paper §II-1).
+
+``Vs(f) = 1 - |f_nd / f_d|`` quantifies bitwise non-determinism between the
+outputs of two implementations of a scalar-valued function ``f``.  It is
+zero iff ``|f_nd| == |f_d|`` bitwise, positive when the non-deterministic
+result is smaller in magnitude, negative when larger — the sign carries the
+direction of the deviation, matching the signed values in the paper's
+Table 1 and Figures 1–2.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ShapeError
+
+__all__ = ["scalar_variability", "scalar_variability_many"]
+
+
+def scalar_variability(nd_value: float, d_value: float) -> float:
+    """Return ``Vs = 1 - |nd / d|`` for a single pair of scalar outputs.
+
+    Parameters
+    ----------
+    nd_value:
+        Output of the non-deterministic implementation.
+    d_value:
+        Output of the deterministic reference implementation.
+
+    Notes
+    -----
+    * ``d_value == 0``: the ratio is undefined; we follow the error-analysis
+      convention and return ``0.0`` when both are zero (bitwise equal in
+      magnitude) and ``-inf`` otherwise (infinitely large relative blowup).
+    * NaN inputs propagate: if either value is NaN the result is NaN, except
+      when both are NaN with equal bit patterns of magnitude — we still
+      return NaN because a NaN output is never reproducible arithmetic.
+    """
+    nd = float(nd_value)
+    d = float(d_value)
+    if np.isnan(nd) or np.isnan(d):
+        return float("nan")
+    if d == 0.0:
+        return 0.0 if nd == 0.0 else float("-inf")
+    return 1.0 - abs(nd / d)
+
+
+def scalar_variability_many(nd_values: np.ndarray, d_value: float | np.ndarray) -> np.ndarray:
+    """Vectorised ``Vs`` for many non-deterministic runs.
+
+    Parameters
+    ----------
+    nd_values:
+        1-D (or any-shape) array of non-deterministic outputs.
+    d_value:
+        Deterministic reference; scalar or broadcastable array.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``1 - |nd / d|`` with float64 dtype, same shape as ``nd_values``
+        broadcast against ``d_value``.
+    """
+    nd = np.asarray(nd_values, dtype=np.float64)
+    d = np.asarray(d_value, dtype=np.float64)
+    try:
+        nd_b, d_b = np.broadcast_arrays(nd, d)
+    except ValueError as exc:  # pragma: no cover - defensive
+        raise ShapeError(f"cannot broadcast {nd.shape} against {d.shape}") from exc
+    out = np.empty(nd_b.shape, dtype=np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        ratio = np.abs(np.divide(nd_b, d_b, out=np.full_like(out, np.nan), where=d_b != 0))
+    out = 1.0 - ratio
+    zero_d = d_b == 0
+    if np.any(zero_d):
+        out = np.where(zero_d & (nd_b == 0), 0.0, out)
+        out = np.where(zero_d & (nd_b != 0), -np.inf, out)
+    nan_in = np.isnan(nd_b) | np.isnan(d_b)
+    if np.any(nan_in):
+        out = np.where(nan_in, np.nan, out)
+    return out

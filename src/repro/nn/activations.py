@@ -1,0 +1,35 @@
+"""Activation modules (wrappers over tensor methods).
+
+The paper highlights that **non-linear activations amplify bit-level
+perturbations**: a one-ulp difference crossing a ReLU threshold or a
+sigmoid saturation boundary becomes a macroscopic output change, which is
+how FPNA noise compounds through deep networks.
+"""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from .module import Module
+
+__all__ = ["ReLU", "Tanh", "Sigmoid"]
+
+
+class ReLU(Module):
+    """Elementwise ``max(x, 0)``."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+
+class Tanh(Module):
+    """Elementwise hyperbolic tangent."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+
+class Sigmoid(Module):
+    """Elementwise logistic function."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.sigmoid()

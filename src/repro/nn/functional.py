@@ -1,0 +1,71 @@
+"""Functional NN operations."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from ..runtime import get_context
+from ..tensor import Tensor
+
+__all__ = ["relu", "log_softmax", "nll_loss", "cross_entropy", "dropout"]
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def log_softmax(x: Tensor, dim: int = -1) -> Tensor:
+    """Log-softmax along ``dim``."""
+    return x.log_softmax(dim=dim)
+
+
+def nll_loss(log_probs: Tensor, target, reduction: str = "mean") -> Tensor:
+    """Negative log-likelihood of integer targets.
+
+    Parameters
+    ----------
+    log_probs:
+        ``(N, C)`` log-probabilities (output of :func:`log_softmax`).
+    target:
+        ``(N,)`` integer class ids.
+    reduction:
+        ``"mean"`` or ``"sum"``.
+    """
+    t = np.asarray(target)
+    if log_probs.ndim != 2:
+        raise ShapeError(f"log_probs must be (N, C), got {log_probs.shape}")
+    n, c = log_probs.shape
+    if t.shape != (n,):
+        raise ShapeError(f"target must be ({n},), got {t.shape}")
+    if t.size and (t.min() < 0 or t.max() >= c):
+        raise ConfigurationError(f"target classes must be in [0, {c})")
+    if reduction not in ("mean", "sum"):
+        raise ConfigurationError(f"unknown reduction {reduction!r}")
+    picked = log_probs[np.arange(n), t]
+    loss = -(picked.sum())
+    if reduction == "mean":
+        loss = loss * (1.0 / max(n, 1))
+    return loss
+
+
+def cross_entropy(logits: Tensor, target, reduction: str = "mean") -> Tensor:
+    """Softmax cross-entropy from raw logits."""
+    return nll_loss(log_softmax(logits, dim=-1), target, reduction=reduction)
+
+
+def dropout(x: Tensor, p: float = 0.5, training: bool = True) -> Tensor:
+    """Inverted dropout using the run context's *init* stream.
+
+    The mask stream is run-stable on purpose: the paper isolates kernel
+    non-determinism by fixing all RNG-based stochasticity, and dropout
+    randomness would otherwise swamp the FPNA signal.
+    """
+    if not 0.0 <= p < 1.0:
+        raise ConfigurationError(f"dropout p must be in [0, 1), got {p}")
+    if not training or p == 0.0:
+        return x
+    rng = get_context().init(stream=0xD209)
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    return x * Tensor(mask, dtype=x.dtype)

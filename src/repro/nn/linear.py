@@ -1,0 +1,59 @@
+"""Affine layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..tensor import Tensor
+from . import init
+from .module import Module, Parameter
+
+__all__ = ["Linear"]
+
+
+class Linear(Module):
+    """``y = x @ W^T + b``.
+
+    Parameters
+    ----------
+    in_features, out_features:
+        Layer dimensions.
+    bias:
+        Include the additive bias term.
+    rng:
+        Optional generator for initialisation (defaults to the run
+        context's stable init stream).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        if in_features < 1 or out_features < 1:
+            raise ConfigurationError("feature dimensions must be >= 1")
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.glorot_uniform((out_features, in_features), rng))
+        if bias:
+            self.bias = Parameter(init.zeros(out_features))
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        """Apply the affine map to ``(N, in_features)`` input."""
+        out = x @ self.weight.T
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Linear(in_features={self.in_features}, "
+            f"out_features={self.out_features}, bias={self.bias is not None})"
+        )

@@ -1,0 +1,31 @@
+"""Loss modules."""
+
+from __future__ import annotations
+
+from ..tensor import Tensor
+from . import functional as F
+from .module import Module
+
+__all__ = ["NLLLoss", "CrossEntropyLoss"]
+
+
+class NLLLoss(Module):
+    """Negative log-likelihood over log-probabilities."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, log_probs: Tensor, target) -> Tensor:
+        return F.nll_loss(log_probs, target, reduction=self.reduction)
+
+
+class CrossEntropyLoss(Module):
+    """Softmax cross-entropy over raw logits."""
+
+    def __init__(self, reduction: str = "mean") -> None:
+        super().__init__()
+        self.reduction = reduction
+
+    def forward(self, logits: Tensor, target) -> Tensor:
+        return F.cross_entropy(logits, target, reduction=self.reduction)

@@ -1,0 +1,112 @@
+"""Module base class: parameter registration, state dicts, train/eval."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A tensor registered as a trainable module attribute."""
+
+    def __init__(self, data, dtype=None) -> None:
+        super().__init__(data, requires_grad=True, dtype=dtype)
+
+
+class Module:
+    """Base class for all neural-network modules.
+
+    Subclasses assign :class:`Parameter` and :class:`Module` attributes in
+    ``__init__`` and implement :meth:`forward`.  Registration happens via
+    ``__setattr__``, mirroring PyTorch.
+    """
+
+    def __init__(self) -> None:
+        object.__setattr__(self, "_parameters", OrderedDict())
+        object.__setattr__(self, "_modules", OrderedDict())
+        object.__setattr__(self, "training", True)
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self._parameters[name] = value
+        elif isinstance(value, Module):
+            self._modules[name] = value
+        object.__setattr__(self, name, value)
+
+    # ---------------------------------------------------------------- params
+    def parameters(self) -> Iterator[Parameter]:
+        """All trainable parameters (depth-first, registration order)."""
+        for _, p in self.named_parameters():
+            yield p
+
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """(name, parameter) pairs with dotted paths."""
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for mname, mod in self._modules.items():
+            yield from mod.named_parameters(prefix=f"{prefix}{mname}.")
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    # ----------------------------------------------------------- state dict
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy of all parameter arrays, keyed by dotted name."""
+        return {name: p.data.copy() for name, p in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load parameter arrays; shapes must match exactly."""
+        params = dict(self.named_parameters())
+        missing = set(params) - set(state)
+        extra = set(state) - set(params)
+        if missing or extra:
+            raise ConfigurationError(
+                f"state dict mismatch: missing={sorted(missing)}, extra={sorted(extra)}"
+            )
+        for name, arr in state.items():
+            p = params[name]
+            arr = np.asarray(arr, dtype=p.data.dtype)
+            if arr.shape != p.data.shape:
+                raise ConfigurationError(
+                    f"shape mismatch for {name}: {arr.shape} vs {p.data.shape}"
+                )
+            p.data = arr.copy()
+
+    def flat_weights(self) -> np.ndarray:
+        """All parameters concatenated into one vector — the unit of
+        comparison for the paper's model-weight variability metrics."""
+        parts = [p.data.reshape(-1) for p in self.parameters()]
+        return np.concatenate(parts) if parts else np.empty(0, dtype=np.float32)
+
+    # ----------------------------------------------------------------- mode
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively."""
+        object.__setattr__(self, "training", mode)
+        for mod in self._modules.values():
+            mod.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Set inference mode recursively."""
+        return self.train(False)
+
+    # ----------------------------------------------------------------- call
+    def forward(self, *args, **kwargs):
+        """Compute the module output; subclass responsibility."""
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

@@ -1,0 +1,108 @@
+"""Optimizers: SGD (momentum/weight-decay) and Adam.
+
+Updates are plain elementwise NumPy operations — deterministic given the
+gradients.  Any run-to-run weight divergence therefore traces back to the
+kernels that produced the gradients, which is the causal isolation the
+paper's Section V experiment needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, params) -> None:
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ConfigurationError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        """Apply one update; subclass responsibility."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(self, params, lr: float = 1e-2, momentum: float = 0.0, weight_decay: float = 0.0) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ConfigurationError(f"weight_decay must be >= 0, got {weight_decay}")
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            g = p.grad
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                g = v
+            p.data = p.data - (self.lr * g).astype(p.data.dtype)
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba) with bias correction."""
+
+    def __init__(
+        self,
+        params,
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params)
+        if lr <= 0:
+            raise ConfigurationError(f"lr must be positive, got {lr}")
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ConfigurationError(f"betas must be in [0, 1), got {betas}")
+        self.lr = lr
+        self.b1, self.b2 = b1, b2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        t = self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            g = p.grad.astype(np.float64)
+            if self.weight_decay:
+                g = g + self.weight_decay * p.data
+            m *= self.b1
+            m += (1 - self.b1) * g
+            v *= self.b2
+            v += (1 - self.b2) * (g * g)
+            m_hat = m / (1 - self.b1**t)
+            v_hat = v / (1 - self.b2**t)
+            update = self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            p.data = (p.data - update).astype(p.data.dtype)

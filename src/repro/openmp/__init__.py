@@ -1,0 +1,29 @@
+"""OpenMP-style shared-memory runtime with reduction and ordered constructs.
+
+Reproduces the paper's §III-B: the OpenMP specification does not fix where
+or in what order reduction partials are combined, so a plain
+``reduction(+:sum)`` is not bitwise deterministic; an ``ordered`` construct
+(or clause) enforces sequential combination order and restores determinism
+at the cost of serialising the reduction region.
+
+Two backends:
+
+* ``"simulated"`` (default) — partial-sum grouping and combine order are
+  sampled from the run context's scheduler stream; fully replayable.
+* ``"threads"`` — real Python threads race on an accumulator; used by
+  integration tests to check the模型 against genuine concurrency.
+
+The :mod:`repro.openmp.multirank` module extends the model to MPI-style
+multi-rank allreduce (the paper's "future work" on inter-node variation).
+"""
+
+from .runtime import OpenMPRuntime, Schedule
+from .multirank import RankReducer, tree_allreduce, ring_allreduce
+
+__all__ = [
+    "OpenMPRuntime",
+    "Schedule",
+    "RankReducer",
+    "tree_allreduce",
+    "ring_allreduce",
+]

@@ -1,0 +1,158 @@
+"""Multi-rank (MPI-style) allreduce variability — the paper's future work.
+
+The conclusions note that distributed settings add inter-chip and
+inter-node communication non-determinism on top of intra-GPU FPNA.  This
+module models the two canonical allreduce algorithms:
+
+* :func:`tree_allreduce` — binomial tree; the combine order at each level
+  can depend on message arrival order (non-deterministic unless
+  ``fixed_order=True``).
+* :func:`ring_allreduce` — reduce-scatter + allgather ring; the association
+  order is a fixed function of rank count, hence deterministic — the
+  standard mitigation.
+
+:class:`RankReducer` wraps them with per-rank data and a run context, so the
+variability experiments and ablation benchmarks can sweep rank counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..runtime import RunContext, get_context
+
+__all__ = ["tree_allreduce", "ring_allreduce", "RankReducer"]
+
+
+def _check_contribs(contribs: np.ndarray) -> np.ndarray:
+    arr = np.asarray(contribs, dtype=np.float64)
+    if arr.ndim < 1 or arr.shape[0] < 1:
+        raise ConfigurationError("need at least one rank contribution")
+    return arr
+
+
+def tree_allreduce(
+    contribs,
+    rng: np.random.Generator | None = None,
+    *,
+    fixed_order: bool = True,
+) -> np.ndarray:
+    """Binomial-tree sum of per-rank arrays.
+
+    Parameters
+    ----------
+    contribs:
+        Array of shape ``(n_ranks, ...)``; axis 0 is the rank axis.
+    rng:
+        Required when ``fixed_order=False``; samples the arrival order of
+        messages at each tree level.
+    fixed_order:
+        ``True`` reproduces MPI implementations that pin the combine
+        pairing (deterministic); ``False`` models arrival-order combining:
+        whichever two messages land first are reduced together, i.e. the
+        *pairing* (association) at each level is a sampled permutation.
+        Note that merely swapping the two operands of one add would change
+        nothing — IEEE addition is commutative; only the association
+        varies.
+
+    Returns
+    -------
+    numpy.ndarray
+        The reduced array (same shape as one contribution).
+    """
+    arr = _check_contribs(contribs)
+    vals = [arr[i] for i in range(arr.shape[0])]
+    if not fixed_order and rng is None:
+        raise ConfigurationError("rng required when fixed_order=False")
+    while len(vals) > 1:
+        if not fixed_order:
+            # Messages arrive in a random order; adjacent arrivals combine.
+            perm = rng.permutation(len(vals))
+            vals = [vals[i] for i in perm]
+        nxt = []
+        for i in range(0, len(vals) - 1, 2):
+            nxt.append(vals[i] + vals[i + 1])
+        if len(vals) % 2:
+            nxt.append(vals[-1])
+        vals = nxt
+    return vals[0]
+
+
+def ring_allreduce(contribs) -> np.ndarray:
+    """Ring reduce-scatter + allgather; deterministic by construction.
+
+    Each element position accumulates contributions in ring order starting
+    from its owning segment's rank — a fixed association for a fixed rank
+    count, independent of timing.
+    """
+    arr = _check_contribs(contribs)
+    n_ranks = arr.shape[0]
+    flat = arr.reshape(n_ranks, -1)
+    m = flat.shape[1]
+    # Segment s is owned by rank s % n_ranks and accumulates in ring order
+    # owner, owner+1, ..., owner-1.  Vectorised per segment.
+    bounds = np.linspace(0, m, n_ranks + 1).astype(int)
+    out = np.empty(m, dtype=np.float64)
+    for s in range(n_ranks):
+        lo, hi = bounds[s], bounds[s + 1]
+        if lo == hi:
+            continue
+        acc = flat[s, lo:hi].copy()
+        for step in range(1, n_ranks):
+            acc = acc + flat[(s + step) % n_ranks, lo:hi]
+        out[lo:hi] = acc
+    return out.reshape(arr.shape[1:])
+
+
+class RankReducer:
+    """Sweepable multi-rank reduction experiment.
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of simulated ranks.
+    algorithm:
+        ``"tree"`` (non-deterministic unless ``fixed_order``) or ``"ring"``
+        (deterministic).
+    fixed_order:
+        Pin the tree combine order.
+    ctx:
+        Run context for arrival-order sampling.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        *,
+        algorithm: str = "tree",
+        fixed_order: bool = False,
+        ctx: RunContext | None = None,
+    ) -> None:
+        if n_ranks < 1:
+            raise ConfigurationError(f"n_ranks must be >= 1, got {n_ranks}")
+        if algorithm not in ("tree", "ring"):
+            raise ConfigurationError(f"unknown algorithm {algorithm!r}")
+        self.n_ranks = n_ranks
+        self.algorithm = algorithm
+        self.fixed_order = fixed_order
+        self.ctx = ctx
+
+    @property
+    def deterministic(self) -> bool:
+        """Whether this configuration is bitwise reproducible."""
+        return self.algorithm == "ring" or self.fixed_order
+
+    def allreduce(self, contribs) -> np.ndarray:
+        """Reduce per-rank contributions (axis 0 = rank)."""
+        arr = _check_contribs(contribs)
+        if arr.shape[0] != self.n_ranks:
+            raise ConfigurationError(
+                f"expected {self.n_ranks} rank contributions, got {arr.shape[0]}"
+            )
+        if self.algorithm == "ring":
+            return ring_allreduce(arr)
+        rng = None
+        if not self.fixed_order:
+            rng = (self.ctx or get_context()).scheduler()
+        return tree_allreduce(arr, rng, fixed_order=self.fixed_order)

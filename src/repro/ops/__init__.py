@@ -1,0 +1,54 @@
+"""Tensor kernels with deterministic and non-deterministic implementations.
+
+This package reproduces the PyTorch operations the paper's Table 5 lists as
+non-deterministic, each with:
+
+* a **deterministic** path — contributions to every output element are
+  folded in a canonical order (ascending source position), bitwise
+  reproducible; and
+* a **non-deterministic** path — the fold order is perturbed by the
+  contention-serialization scheduler model
+  (:mod:`repro.ops.nondet`), sampled per run from the active
+  :class:`~repro.runtime.RunContext`.
+
+Selection follows PyTorch semantics: the global switch
+:func:`repro.use_deterministic_algorithms` (or each kernel's explicit
+``deterministic=`` argument) chooses the path; ops *without* a
+deterministic implementation raise
+:class:`~repro.errors.NondeterministicError` — notably ``scatter_reduce``,
+which is exactly where the paper hit PyTorch's runtime error.
+
+Kernels operate on plain NumPy arrays; the autograd layer in
+:mod:`repro.tensor` wraps them.
+"""
+
+from .segmented import SegmentPlan, segmented_fold
+from .nondet import ContentionModel, OP_CONTENTION
+from .registry import OpSpec, op_spec, all_op_specs, documented_nondeterministic_ops
+from .scatter import scatter, scatter_reduce
+from .index_ops import index_add, index_copy, index_put
+from .cumsum import cumsum
+from .conv_transpose import conv_transpose1d, conv_transpose2d, conv_transpose3d
+from .gather import gather_rows, take_along_dim
+
+__all__ = [
+    "SegmentPlan",
+    "segmented_fold",
+    "ContentionModel",
+    "OP_CONTENTION",
+    "OpSpec",
+    "op_spec",
+    "all_op_specs",
+    "documented_nondeterministic_ops",
+    "scatter",
+    "scatter_reduce",
+    "index_add",
+    "index_copy",
+    "index_put",
+    "cumsum",
+    "conv_transpose1d",
+    "conv_transpose2d",
+    "conv_transpose3d",
+    "gather_rows",
+    "take_along_dim",
+]

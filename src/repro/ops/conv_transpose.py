@@ -1,0 +1,184 @@
+"""Transposed convolutions with order-controlled accumulation (§IV).
+
+A transposed convolution scatters ``x[i] * w[k]`` products into overlapping
+output windows; cuDNN's implementations accumulate the overlaps with
+atomics, which makes ``ConvTranspose{1,2,3}d`` the top rows of the paper's
+Table 5.  Our kernel makes the accumulation order explicit:
+
+* each output element receives at most ``T = prod(ceil(K_d / stride_d))``
+  **tap contributions**, each itself a deterministic dot product over input
+  channels (the GEMM order is fixed per device);
+* the deterministic path folds taps in ascending kernel-offset order;
+* the non-deterministic path shuffles the tap fold order of raced output
+  elements per the contention model.
+
+This reproduces the observed magnitudes (fp32, ~1e-7..1e-6 ``Vermv``) and
+the zero-minimum rows (``ConvTranspose3d`` settings where every order
+rounds identically).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from ..runtime import RunContext, get_context
+from .nondet import OP_CONTENTION, ContentionModel
+from .registry import resolve_determinism
+
+__all__ = ["conv_transpose1d", "conv_transpose2d", "conv_transpose3d"]
+
+
+def _normalize(val, nd: int, name: str) -> tuple[int, ...]:
+    if isinstance(val, int):
+        out = (val,) * nd
+    else:
+        out = tuple(int(v) for v in val)
+    if len(out) != nd:
+        raise ConfigurationError(f"{name} must have {nd} entries, got {out}")
+    if name == "stride" and any(v < 1 for v in out):
+        raise ConfigurationError(f"stride entries must be >= 1, got {out}")
+    if name != "stride" and any(v < 0 for v in out):
+        raise ConfigurationError(f"{name} entries must be >= 0, got {out}")
+    return out
+
+
+def _conv_transpose_nd(
+    x,
+    weight,
+    *,
+    nd: int,
+    bias=None,
+    stride=1,
+    padding=0,
+    output_padding=0,
+    deterministic: bool | None = None,
+    model: ContentionModel | None = None,
+    ctx: RunContext | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    xa = np.asarray(x)
+    wa = np.asarray(weight)
+    if xa.ndim != nd + 2:
+        raise ShapeError(f"input must be (B, C_in, {'x'.join(['L'] * nd)}), got {xa.shape}")
+    if wa.ndim != nd + 2:
+        raise ShapeError(f"weight must be (C_in, C_out, kernel...), got {wa.shape}")
+    B, C_in = xa.shape[:2]
+    spatial = xa.shape[2:]
+    if wa.shape[0] != C_in:
+        raise ShapeError(f"weight C_in {wa.shape[0]} != input C_in {C_in}")
+    C_out = wa.shape[1]
+    kernel = wa.shape[2:]
+    stride = _normalize(stride, nd, "stride")
+    padding = _normalize(padding, nd, "padding")
+    output_padding = _normalize(output_padding, nd, "output_padding")
+    if any(op_ >= s for op_, s in zip(output_padding, stride)):
+        raise ConfigurationError("output_padding must be smaller than stride")
+
+    out_spatial = tuple(
+        (spatial[d] - 1) * stride[d] - 2 * padding[d] + kernel[d] + output_padding[d]
+        for d in range(nd)
+    )
+    if any(o < 1 for o in out_spatial):
+        raise ConfigurationError(
+            f"non-positive output size {out_spatial} for input {spatial}, "
+            f"kernel {kernel}, stride {stride}, padding {padding}"
+        )
+    dtype = xa.dtype if np.issubdtype(xa.dtype, np.floating) else np.float64
+    xa = xa.astype(dtype, copy=False)
+    wa = wa.astype(dtype, copy=False)
+
+    det = resolve_determinism(f"conv_transpose{nd}d", deterministic)
+    T = 1
+    for d in range(nd):
+        T *= -(-kernel[d] // stride[d])  # ceil
+    M = int(np.prod(out_spatial))
+    contribs = np.zeros((B, C_out, M, T), dtype=dtype)
+    slots = np.zeros(M, dtype=np.int64)
+
+    for k_multi in itertools.product(*(range(k) for k in kernel)):
+        lo: list[int] = []
+        hi: list[int] = []
+        empty = False
+        for d in range(nd):
+            # valid input index range for this tap: 0 <= i*stride + k - pad < out
+            i_min = max(0, math.ceil((padding[d] - k_multi[d]) / stride[d]))
+            i_max = min(
+                spatial[d] - 1,
+                (out_spatial[d] - 1 + padding[d] - k_multi[d]) // stride[d],
+            )
+            if i_max < i_min:
+                empty = True
+                break
+            lo.append(i_min)
+            hi.append(i_max)
+        if empty:
+            continue
+        x_sel = xa[(slice(None), slice(None)) + tuple(slice(lo[d], hi[d] + 1) for d in range(nd))]
+        w_tap = wa[(slice(None), slice(None)) + k_multi]  # (C_in, C_out)
+        part = np.tensordot(x_sel, w_tap, axes=([1], [0]))  # (B, sel..., C_out)
+        part = np.moveaxis(part, -1, 1)  # (B, C_out, sel...)
+        pos_axes = [
+            np.arange(lo[d], hi[d] + 1) * stride[d] + k_multi[d] - padding[d]
+            for d in range(nd)
+        ]
+        mesh = np.meshgrid(*pos_axes, indexing="ij")
+        flat_pos = np.ravel_multi_index([m.ravel() for m in mesh], out_spatial)
+        s = slots[flat_pos]
+        contribs[:, :, flat_pos, s] = part.reshape(B, C_out, -1)
+        slots[flat_pos] = s + 1
+
+    if not det:
+        if rng is None:
+            rng = (ctx or get_context()).scheduler()
+        model = model or OP_CONTENTION["conv_transpose"]
+        flat = contribs.reshape(B * C_out * M, T)
+        # Elements whose position has >= 2 taps can race.
+        pos_multi = slots >= 2
+        elem_multi = np.tile(pos_multi, B * C_out)
+        candidates = np.flatnonzero(elem_multi)
+        raced = model.sample_raced(candidates, B * C_out * M, B * C_out * M, rng)
+        if raced.size:
+            keys = rng.random((raced.size, T))
+            perm = np.argsort(keys, axis=1)
+            flat[raced] = np.take_along_axis(flat[raced], perm, axis=1)
+        contribs = flat.reshape(B, C_out, M, T)
+
+    out = np.add.accumulate(contribs, axis=3)[..., -1].reshape((B, C_out) + out_spatial)
+    if bias is not None:
+        ba = np.asarray(bias, dtype=dtype)
+        if ba.shape != (C_out,):
+            raise ShapeError(f"bias must have shape ({C_out},), got {ba.shape}")
+        out = out + ba.reshape((1, C_out) + (1,) * nd)
+    return out
+
+
+def conv_transpose1d(x, weight, bias=None, *, stride=1, padding=0, output_padding=0, **kw):
+    """1-D transposed convolution: ``x (B, C_in, L)``, ``weight (C_in,
+    C_out, K)`` → ``(B, C_out, L_out)``; keyword args as in PyTorch plus the
+    determinism/model/rng controls shared by all kernels."""
+    return _conv_transpose_nd(
+        x, weight, nd=1, bias=bias, stride=stride, padding=padding,
+        output_padding=output_padding, **kw,
+    )
+
+
+def conv_transpose2d(x, weight, bias=None, *, stride=1, padding=0, output_padding=0, **kw):
+    """2-D transposed convolution: ``x (B, C_in, H, W)``, ``weight (C_in,
+    C_out, KH, KW)`` → ``(B, C_out, H_out, W_out)``."""
+    return _conv_transpose_nd(
+        x, weight, nd=2, bias=bias, stride=stride, padding=padding,
+        output_padding=output_padding, **kw,
+    )
+
+
+def conv_transpose3d(x, weight, bias=None, *, stride=1, padding=0, output_padding=0, **kw):
+    """3-D transposed convolution: ``x (B, C_in, D, H, W)``, ``weight
+    (C_in, C_out, KD, KH, KW)`` → ``(B, C_out, D_out, H_out, W_out)``."""
+    return _conv_transpose_nd(
+        x, weight, nd=3, bias=bias, stride=stride, padding=padding,
+        output_padding=output_padding, **kw,
+    )

@@ -1,0 +1,98 @@
+"""``cumsum`` kernel with a blocked-scan non-deterministic path.
+
+A GPU prefix sum is a blocked scan: per-block inclusive scans, a scan of
+block totals, then an offset add.  Every chunk size defines a different
+association order, and the runtime's kernel/occupancy heuristics choose the
+chunk at launch time based on transient state — the paper's "optimal
+computational kernel at runtime" source of non-determinism.  Our ND path
+samples the chunk size per run from a plausible occupancy ladder; the
+deterministic path pins the strict serial scan.
+
+The Table 5 entry has ``min(Vermv) = 0``: many hyperparameter settings
+round identically under every chunking — this kernel reproduces that, since
+small arrays or low-dynamic-range inputs often agree bit-for-bit across
+chunk choices.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from ..runtime import RunContext, get_context
+from .registry import resolve_determinism
+
+__all__ = ["cumsum", "blocked_cumsum", "DEFAULT_CHUNK_LADDER"]
+
+#: Chunk sizes the simulated runtime chooses among (occupancy ladder).
+DEFAULT_CHUNK_LADDER: tuple[int, ...] = (128, 256, 512, 1024, 2048)
+
+
+def blocked_cumsum(x, chunk: int) -> np.ndarray:
+    """Inclusive prefix sum with a fixed chunked association order.
+
+    Bit-exact model of a two-level scan: ``chunk``-wide inclusive scans,
+    then each chunk's elements receive the serial fold of preceding chunk
+    totals (a single add per element — the offset add of the GPU kernel).
+    """
+    arr = np.asarray(x)
+    if arr.ndim != 1:
+        raise ShapeError(f"blocked_cumsum expects 1-D input, got shape {arr.shape}")
+    if chunk < 1:
+        raise ConfigurationError(f"chunk must be >= 1, got {chunk}")
+    n = arr.size
+    if n == 0:
+        return arr.copy()
+    dtype = arr.dtype if np.issubdtype(arr.dtype, np.floating) else np.float64
+    arr = arr.astype(dtype, copy=False)
+    if chunk >= n:
+        return np.add.accumulate(arr)
+    n_chunks = (n + chunk - 1) // chunk
+    pad = n_chunks * chunk - n
+    buf = np.concatenate([arr, np.zeros(pad, dtype=dtype)]).reshape(n_chunks, chunk)
+    within = np.add.accumulate(buf, axis=1)
+    totals = within[:, -1]
+    # Exclusive serial scan of chunk totals (the single-block second pass).
+    offsets = np.concatenate([[dtype.type(0)], np.add.accumulate(totals)[:-1]])
+    out = within + offsets[:, None]
+    out[0] = within[0]  # adding an exact 0 can still flip -0.0; keep chunk 0 pristine
+    return out.reshape(-1)[:n]
+
+
+def cumsum(
+    x,
+    dim: int = 0,
+    *,
+    deterministic: bool | None = None,
+    chunk_ladder: tuple[int, ...] = DEFAULT_CHUNK_LADDER,
+    ctx: RunContext | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Inclusive prefix sum along ``dim``.
+
+    Deterministic path: strict serial scan (``np.add.accumulate``).
+    Non-deterministic path: a chunk size sampled from ``chunk_ladder``
+    decides the association order for this run.
+    """
+    arr = np.asarray(x)
+    if arr.ndim == 0:
+        raise ShapeError("cumsum needs at least one axis")
+    if not -arr.ndim <= dim < arr.ndim:
+        raise ConfigurationError(f"dim {dim} out of range for {arr.ndim}-D input")
+    det = resolve_determinism("cumsum", deterministic)
+    moved = np.moveaxis(arr, dim, -1)
+    if det:
+        out = np.add.accumulate(
+            moved.astype(moved.dtype if np.issubdtype(moved.dtype, np.floating) else np.float64),
+            axis=-1,
+        )
+        return np.moveaxis(out, -1, dim)
+    if rng is None:
+        rng = (ctx or get_context()).scheduler()
+    if not chunk_ladder:
+        raise ConfigurationError("chunk_ladder must be non-empty")
+    chunk = int(chunk_ladder[int(rng.integers(len(chunk_ladder)))])
+    flat = moved.reshape(-1, moved.shape[-1])
+    rows = [blocked_cumsum(row, chunk) for row in flat]
+    out = np.stack(rows).reshape(moved.shape)
+    return np.moveaxis(out, -1, dim)

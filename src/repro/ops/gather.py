@@ -1,0 +1,45 @@
+"""Read-only indexing kernels (deterministic).
+
+``gather_rows`` (PyTorch's ``index_select``) and ``take_along_dim`` only
+*read* — they are deterministic on any hardware.  They matter for the
+reproduction because their **gradients** are scatter-adds: the backward of
+``gather_rows`` is ``index_add``, which is how non-determinism enters
+training even when the forward pass is clean (paper §V: the GraphSAGE
+model's only ND source is ``index_add``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+
+__all__ = ["gather_rows", "take_along_dim"]
+
+
+def gather_rows(input_, index) -> np.ndarray:
+    """Select rows: ``out[k] = input_[index[k]]`` (``index_select`` dim 0)."""
+    inp = np.asarray(input_)
+    idx = np.asarray(index)
+    if idx.ndim != 1:
+        raise ShapeError(f"index must be 1-D, got shape {idx.shape}")
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise ConfigurationError(f"index must be integer, got dtype {idx.dtype}")
+    if idx.size and (idx.min() < 0 or idx.max() >= inp.shape[0]):
+        raise ConfigurationError(
+            f"index values must be in [0, {inp.shape[0]}); got "
+            f"[{idx.min()}, {idx.max()}]"
+        )
+    return inp[idx]
+
+
+def take_along_dim(input_, indices, dim: int) -> np.ndarray:
+    """PyTorch's ``take_along_dim`` — thin validated wrapper over
+    :func:`numpy.take_along_axis`."""
+    inp = np.asarray(input_)
+    idx = np.asarray(indices)
+    if not -inp.ndim <= dim < inp.ndim:
+        raise ConfigurationError(f"dim {dim} out of range for {inp.ndim}-D input")
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise ConfigurationError(f"indices must be integer, got dtype {idx.dtype}")
+    return np.take_along_axis(inp, idx, axis=dim)

@@ -1,0 +1,149 @@
+"""``index_add``, ``index_copy`` and ``index_put`` kernels (paper §IV-A).
+
+``index_add`` updates rows of the output by *adding* rows of a source
+routed through an index array::
+
+    Y[I[k], :] += alpha * X[k, :]
+
+On GPUs this is implemented with ``atomicAdd`` — the fold order per output
+row is schedule dependent, making it the paper's canonical
+non-deterministic kernel (it is the *only* ND source in their GraphSAGE
+model).  A deterministic sort-based fallback exists but costs ~12x on H100
+(Table 6); our cost model carries that penalty.
+
+``index_copy`` / ``index_put`` have copy semantics (last writer wins) with
+``index_put(accumulate=True)`` behaving like ``index_add``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from ..runtime import RunContext, get_context
+from .nondet import OP_CONTENTION, ContentionModel
+from .registry import resolve_determinism
+from .segmented import SegmentPlan
+
+__all__ = ["index_add", "index_copy", "index_put"]
+
+
+def _validate(input_, index, source, dim):
+    if dim != 0:
+        raise ConfigurationError("only dim=0 index ops are supported (move the axis first)")
+    inp = np.asarray(input_)
+    idx = np.asarray(index)
+    src = np.asarray(source)
+    if idx.ndim != 1:
+        raise ShapeError(f"index must be 1-D, got shape {idx.shape}")
+    if src.shape[:1] != idx.shape:
+        raise ShapeError(f"source first axis {src.shape[:1]} must match index {idx.shape}")
+    if src.shape[1:] != inp.shape[1:]:
+        raise ShapeError(
+            f"source payload {src.shape[1:]} must match input payload {inp.shape[1:]}"
+        )
+    return inp, idx, src
+
+
+def index_add(
+    input_,
+    dim: int,
+    index,
+    source,
+    *,
+    alpha: float = 1.0,
+    deterministic: bool | None = None,
+    plan: SegmentPlan | None = None,
+    model: ContentionModel | None = None,
+    ctx: RunContext | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Return ``input_`` with ``alpha * source`` rows added at ``index``.
+
+    The fold per target row starts from the input value (``include_self``
+    is inherent to ``+=`` semantics) and proceeds in canonical order on the
+    deterministic path, or with raced segments shuffled on the ND path.
+    """
+    inp, idx, src = _validate(input_, index, source, dim)
+    det = resolve_determinism("index_add", deterministic)
+    if plan is None:
+        plan = SegmentPlan(idx, inp.shape[0])
+    order = None
+    if not det:
+        if rng is None:
+            rng = (ctx or get_context()).scheduler()
+        raced = (model or OP_CONTENTION["index_add"]).sample_raced(
+            plan.multi_targets, plan.n_sources, plan.n_targets, rng
+        )
+        order = plan.source_order(raced, rng)
+    vals = src if alpha == 1.0 else src * np.asarray(alpha, dtype=src.dtype)
+    folded = plan.fold(vals, order=order, reduce="sum", init=inp)
+    return folded.astype(inp.dtype, copy=False)
+
+
+def index_copy(
+    input_,
+    dim: int,
+    index,
+    source,
+    *,
+    deterministic: bool | None = None,
+    plan: SegmentPlan | None = None,
+    model: ContentionModel | None = None,
+    ctx: RunContext | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Copy ``source`` rows into ``input_`` at ``index`` (last writer wins).
+
+    Unique indices are fully deterministic; duplicates race exactly like
+    :func:`repro.ops.scatter.scatter`.
+    """
+    inp, idx, src = _validate(input_, index, source, dim)
+    det = resolve_determinism("index_copy", deterministic)
+    if plan is None:
+        plan = SegmentPlan(idx, inp.shape[0])
+    order = plan.order
+    if not det:
+        if rng is None:
+            rng = (ctx or get_context()).scheduler()
+        raced = (model or OP_CONTENTION["index_copy"]).sample_raced(
+            plan.multi_targets, plan.n_sources, plan.n_targets, rng
+        )
+        order = plan.source_order(raced, rng)
+    out = np.array(inp, copy=True)
+    if plan.n_sources:
+        vals = src[order]
+        has = plan.counts > 0
+        ends = plan._starts[1:][has] - 1
+        out[np.flatnonzero(has)] = vals[ends]
+    return out
+
+
+def index_put(
+    input_,
+    index,
+    values,
+    *,
+    accumulate: bool = False,
+    deterministic: bool | None = None,
+    plan: SegmentPlan | None = None,
+    model: ContentionModel | None = None,
+    ctx: RunContext | None = None,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """``out[index[k]] = values[k]`` (or ``+=`` with ``accumulate=True``).
+
+    ``accumulate=True`` is ``index_add`` with alpha 1; ``False`` is
+    last-writer-wins copy.  Both share the contention model under the
+    ``index_put`` calibration key.
+    """
+    model = model or OP_CONTENTION["index_put"]
+    if accumulate:
+        return index_add(
+            input_, 0, index, values,
+            deterministic=deterministic, plan=plan, model=model, ctx=ctx, rng=rng,
+        )
+    return index_copy(
+        input_, 0, index, values,
+        deterministic=deterministic, plan=plan, model=model, ctx=ctx, rng=rng,
+    )

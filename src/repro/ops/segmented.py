@@ -1,0 +1,206 @@
+"""Bit-exact segmented folds: the engine under every scatter-style kernel.
+
+A scatter/index update is, per output element ("target"), a sequential fold
+of its contributions.  FPNA means the fold *order* decides the bits.  This
+module evaluates such folds with the order under explicit control:
+
+1. :class:`SegmentPlan` — a reusable sort-based plan for a fixed index
+   array: canonical order (ascending source position within each target),
+   segment boundaries, per-source ranks, and the set of multiply-hit
+   targets (the only ones whose fold order can matter).
+2. :meth:`SegmentPlan.source_order` — the canonical order with the raced
+   segments shuffled, sampled per run.
+3. :meth:`SegmentPlan.fold` — a vectorised, **bit-exact** left fold per
+   segment: contributions are placed into a zero-padded
+   ``(targets, k_max+1, *payload)`` matrix and reduced with
+   ``np.add.accumulate`` along the contribution axis.  Padding with the
+   fold identity is exact in IEEE-754, so the result equals the sequential
+   per-target fold in the given order, while all targets fold in lockstep.
+
+The plan is built once per index array and reused across runs — the
+argsort dominates setup, the per-run cost is one lexsort over raced
+segments plus the fold.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+
+__all__ = ["SegmentPlan", "segmented_fold"]
+
+_IDENTITY = {
+    "sum": 0.0,
+    "mean": 0.0,
+    "prod": 1.0,
+    "amax": -np.inf,
+    "amin": np.inf,
+}
+
+_UFUNC = {
+    "sum": np.add,
+    "mean": np.add,
+    "prod": np.multiply,
+    "amax": np.maximum,
+    "amin": np.minimum,
+}
+
+
+class SegmentPlan:
+    """Reusable fold plan for one (index, n_targets) pair.
+
+    Parameters
+    ----------
+    index:
+        1-D integer array mapping each source position to a target.
+    n_targets:
+        Number of output elements along the scatter axis.
+
+    Attributes
+    ----------
+    order:
+        Canonical source order: stable argsort of ``index`` — ascending
+        source position within each target (the deterministic kernels' fold
+        order).
+    counts:
+        Contributions per target.
+    multi_targets:
+        Targets with >= 2 contributions; only these can race.
+    k_max:
+        Largest segment size (fold-matrix width).
+    """
+
+    def __init__(self, index, n_targets: int) -> None:
+        idx = np.asarray(index)
+        if idx.ndim != 1:
+            raise ShapeError(f"index must be 1-D, got shape {idx.shape}")
+        if not np.issubdtype(idx.dtype, np.integer):
+            raise ConfigurationError(f"index must be integer, got dtype {idx.dtype}")
+        if n_targets < 1:
+            raise ConfigurationError(f"n_targets must be >= 1, got {n_targets}")
+        if idx.size and (idx.min() < 0 or idx.max() >= n_targets):
+            raise ConfigurationError(
+                f"index values must be in [0, {n_targets}); "
+                f"got range [{idx.min()}, {idx.max()}]"
+            )
+        self.index = idx
+        self.n_sources = int(idx.size)
+        self.n_targets = int(n_targets)
+        self.order = np.argsort(idx, kind="stable")
+        self.sorted_targets = idx[self.order]
+        self.counts = np.bincount(idx, minlength=n_targets)
+        self.k_max = int(self.counts.max()) if idx.size else 0
+        starts = np.zeros(n_targets + 1, dtype=np.int64)
+        np.cumsum(self.counts, out=starts[1:])
+        self._starts = starts
+        self.ranks = np.arange(self.n_sources, dtype=np.int64) - starts[self.sorted_targets]
+        self.multi_targets = np.flatnonzero(self.counts >= 2)
+
+    # ------------------------------------------------------------- ordering
+    def source_order(
+        self,
+        raced_targets: np.ndarray | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> np.ndarray:
+        """Return a fold order: canonical, with raced segments shuffled.
+
+        Parameters
+        ----------
+        raced_targets:
+            Target ids whose contribution order is randomised this run
+            (``None``/empty → canonical order, no randomness consumed).
+        rng:
+            Required when ``raced_targets`` is non-empty.
+        """
+        if raced_targets is None or len(raced_targets) == 0:
+            return self.order
+        if rng is None:
+            raise ConfigurationError("rng is required to shuffle raced segments")
+        t_mask = np.zeros(self.n_targets, dtype=bool)
+        t_mask[np.asarray(raced_targets)] = True
+        pos_mask = t_mask[self.sorted_targets]
+        keys = self.ranks.astype(np.float64)
+        keys[pos_mask] = rng.random(int(pos_mask.sum()))
+        resort = np.lexsort((keys, self.sorted_targets))
+        return self.order[resort]
+
+    # ----------------------------------------------------------------- fold
+    def fold(
+        self,
+        values: np.ndarray,
+        *,
+        order: np.ndarray | None = None,
+        reduce: str = "sum",
+        init: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Bit-exact per-target left fold of ``values`` in ``order``.
+
+        Parameters
+        ----------
+        values:
+            ``(n_sources, *payload)`` contributions (any float dtype; the
+            fold runs in that dtype).
+        order:
+            Global source order (a permutation in which segments stay
+            grouped, e.g. from :meth:`source_order`); default canonical.
+        reduce:
+            ``sum``/``mean`` (mean is folded as sum; divide at the op
+            layer), ``prod``, ``amax``, ``amin``.
+        init:
+            Optional ``(n_targets, *payload)`` initial value folded first
+            (``include_self`` semantics).  Targets with zero contributions
+            return ``init`` (or the identity when absent).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_targets, *payload)`` folded values.
+        """
+        if reduce not in _UFUNC:
+            raise ConfigurationError(
+                f"unknown reduce {reduce!r}; choose from {sorted(_UFUNC)}"
+            )
+        vals = np.asarray(values)
+        if vals.shape[:1] != (self.n_sources,):
+            raise ShapeError(
+                f"values first axis must be n_sources={self.n_sources}, "
+                f"got shape {vals.shape}"
+            )
+        payload = vals.shape[1:]
+        dtype = vals.dtype if np.issubdtype(vals.dtype, np.floating) else np.float64
+        ufunc = _UFUNC[reduce]
+        identity = np.asarray(_IDENTITY[reduce], dtype=dtype)[()]
+
+        if order is None:
+            order = self.order
+        vals_sorted = vals[order].astype(dtype, copy=False)
+
+        mat = np.full((self.n_targets, self.k_max + 1) + payload, identity, dtype=dtype)
+        if init is not None:
+            init_arr = np.asarray(init, dtype=dtype)
+            if init_arr.shape != (self.n_targets,) + payload:
+                raise ShapeError(
+                    f"init shape {init_arr.shape} != {(self.n_targets,) + payload}"
+                )
+            mat[:, 0] = init_arr
+        if self.n_sources:
+            mat[self.sorted_targets, self.ranks + 1] = vals_sorted
+        folded = ufunc.accumulate(mat, axis=1)[:, -1]
+        # Zero-contribution rows hold the identity (or init); for amax/amin
+        # that is +-inf — the op layer substitutes the input values there.
+        return folded
+
+
+def segmented_fold(
+    values,
+    index,
+    n_targets: int,
+    *,
+    reduce: str = "sum",
+    order: np.ndarray | None = None,
+    init: np.ndarray | None = None,
+) -> np.ndarray:
+    """One-shot convenience wrapper: build a plan and fold once."""
+    plan = SegmentPlan(index, n_targets)
+    return plan.fold(np.asarray(values), order=order, reduce=reduce, init=init)

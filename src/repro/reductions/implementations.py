@@ -1,0 +1,232 @@
+"""The six parallel-sum strategies (paper §III-A, Listing 1, Table 2).
+
+Every strategy decomposes into (a) a per-block stage and (b) a combine
+stage; the association order of each stage is what distinguishes them:
+
+* **AO** — no block stage; every element is one same-address ``atomicAdd``.
+  The fold order is the thread retirement order sampled at maximal
+  contention: non-deterministic.
+* **SPA** — deterministic shared-memory tree per block, partials combined
+  by ``atomicAdd`` in block completion order: non-deterministic.
+* **SPTR** — tree per block, then the *last* block (retirement counter +
+  ``__threadfence``) tree-reduces the partials in block-index order:
+  deterministic.
+* **SPRG** — tree per block, last block folds partials serially
+  (``res[0] += res[i]``, Listing 1): deterministic.
+* **TPRC** — tree per block (kernel 1), stream-ordered D2H copy, host
+  serial fold: deterministic (two launches; stream ordering is the
+  synchronisation).
+* **CU** — CUB-style fused reduction: per-thread serial accumulation over a
+  strided tile, tree within the block, deterministic combine: deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fp.summation import block_partials, serial_sum, tree_fold
+from ..gpusim.atomics import RetirementCounter, atomic_fold
+from ..gpusim.kernel import LaunchConfig
+from ..gpusim.scheduler import WaveScheduler
+from ..gpusim.stream import Stream
+from .base import ReductionImpl, ReductionProperties
+
+__all__ = [
+    "AtomicOnly",
+    "SinglePassAtomic",
+    "SinglePassTreeReduction",
+    "SinglePassRecursiveGPU",
+    "TwoPassReduceCPU",
+    "CubStyle",
+]
+
+
+class AtomicOnly(ReductionImpl):
+    """AO: one ``atomicAdd`` per element (Listing 1, ``reduce_atomic_only``).
+
+    Sequential in effect — the accumulator serializes every addition — yet
+    non-deterministic, because the retirement order is runtime dependent.
+    Contention is maximal (``n`` atomics to one address), so the sampled
+    order is nearly a pure function of the scheduler's discrete rotation
+    mode; see Fig 2's non-normal variability distribution.
+    """
+
+    properties = ReductionProperties(
+        name="ao",
+        long_name="atomicAdd-only",
+        deterministic=False,
+        n_kernels=1,
+        synchronization="atomicAdd",
+    )
+
+    #: Contention level passed to the scheduler (same-address atomic per
+    #: element = fully serialized queue).
+    contention = 1.0
+
+    def _reduce(self, arr: np.ndarray, launch: LaunchConfig, sched: WaveScheduler | None) -> float:
+        order = sched.thread_retirement_order(arr.size, contention=self.contention)
+        return atomic_fold(arr, order)
+
+
+class SinglePassAtomic(ReductionImpl):
+    """SPA: per-block tree + ``atomicAdd`` of partials.
+
+    The block stage is bitwise deterministic; the combine order is the
+    block completion order at *low* contention (``Nb`` atomics spread over
+    the kernel's lifetime), i.e. close to a uniform permutation — which is
+    why SPA's ``Vs`` converges to a normal distribution (Fig 1).
+    """
+
+    properties = ReductionProperties(
+        name="spa",
+        long_name="single-pass with atomicAdd",
+        deterministic=False,
+        n_kernels=1,
+        synchronization="atomicAdd",
+    )
+
+    contention = 0.0
+
+    def _reduce(self, arr: np.ndarray, launch: LaunchConfig, sched: WaveScheduler | None) -> float:
+        partials = block_partials(arr, launch.n_blocks)
+        order = sched.block_completion_order(contention=self.contention)
+        return atomic_fold(partials, order)
+
+
+class SinglePassTreeReduction(ReductionImpl):
+    """SPTR: per-block tree + last-block tree combine.
+
+    The retirement counter (``atomicInc`` + ``__threadfence``) elects the
+    last block; *which* block performs the combine varies run to run, but
+    the combine reads the partial array in block-index order, so the result
+    is deterministic by construction.
+    """
+
+    properties = ReductionProperties(
+        name="sptr",
+        long_name="single-pass with tree reduction",
+        deterministic=True,
+        n_kernels=1,
+        synchronization="__threadfence",
+    )
+
+    def _reduce(self, arr: np.ndarray, launch: LaunchConfig, sched: WaveScheduler | None) -> float:
+        partials = block_partials(arr, launch.n_blocks)
+        counter = RetirementCounter(launch.n_blocks)
+        am_last = [counter.retire(b) for b in range(launch.n_blocks)]
+        assert am_last[-1] and counter.retired == launch.n_blocks
+        return tree_fold(partials)
+
+
+class SinglePassRecursiveGPU(ReductionImpl):
+    """SPRG: per-block tree + last-block serial fold (Listing 1's
+    ``for (i = 1; ...) res[0] += res[i]``).  Deterministic."""
+
+    properties = ReductionProperties(
+        name="sprg",
+        long_name="single-pass with recursive sum on GPU",
+        deterministic=True,
+        n_kernels=1,
+        synchronization="__threadfence",
+    )
+
+    def _reduce(self, arr: np.ndarray, launch: LaunchConfig, sched: WaveScheduler | None) -> float:
+        partials = block_partials(arr, launch.n_blocks)
+        counter = RetirementCounter(launch.n_blocks)
+        for b in range(launch.n_blocks):
+            counter.retire(b)
+        return serial_sum(partials)
+
+
+class TwoPassReduceCPU(ReductionImpl):
+    """TPRC: kernel 1 computes block partials; a stream-ordered D2H copy
+    hands them to the host, which folds serially.
+
+    Deterministic, but "more sensitive to compiler optimizations because of
+    vectorization" (§III-A): with ``simd_width > 1`` the host fold becomes
+    lane-strided (models an auto-vectorised loop), changing the association
+    order — still deterministic for a fixed build, but a *different* fixed
+    result.  Tests pin both behaviours.
+    """
+
+    properties = ReductionProperties(
+        name="tprc",
+        long_name="two-passes with final reduction on CPU",
+        deterministic=True,
+        n_kernels=2,
+        synchronization="stream synchronization",
+    )
+
+    def __init__(self, *args, simd_width: int = 1, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if simd_width < 1:
+            from ..errors import ConfigurationError
+
+            raise ConfigurationError(f"simd_width must be >= 1, got {simd_width}")
+        self.simd_width = simd_width
+
+    def _host_fold(self, partials: np.ndarray) -> float:
+        if self.simd_width == 1:
+            return serial_sum(partials)
+        w = self.simd_width
+        n = partials.size
+        pad = (-n) % w
+        buf = np.concatenate([partials, np.zeros(pad, dtype=partials.dtype)])
+        lanes = buf.reshape(-1, w)
+        lane_sums = np.add.accumulate(lanes, axis=0)[-1]
+        return serial_sum(lane_sums)
+
+    def _reduce(self, arr: np.ndarray, launch: LaunchConfig, sched: WaveScheduler | None) -> float:
+        stream = Stream()
+        k1 = stream.launch(block_partials, arr, launch.n_blocks)
+        stream.launch(lambda: None)  # the D2H copy occupies a queue slot
+        stream.synchronize()
+        partials = stream.result(k1)
+        return self._host_fold(partials)
+
+
+class CubStyle(ReductionImpl):
+    """CU: CUB/hipCUB ``DeviceReduce``-style fused kernel.
+
+    Each thread serially accumulates ``items_per_thread`` elements of a
+    **blocked arrangement** tile, the block tree-reduces the per-thread
+    registers, and a deterministic carry-out combine (same retirement
+    counter technique) folds tile partials in tile order.  Deterministic;
+    the exact association differs from SPTR's, so CU's bit pattern is its
+    own — tests pin that the *value* is deterministic, not that it matches
+    other strategies bitwise.
+    """
+
+    properties = ReductionProperties(
+        name="cu",
+        long_name="CUB/hipCUB DeviceReduce",
+        deterministic=True,
+        n_kernels=1,
+        synchronization="__threadfence",
+    )
+
+    def __init__(self, *args, items_per_thread: int = 4, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if items_per_thread < 1:
+            from ..errors import ConfigurationError
+
+            raise ConfigurationError(f"items_per_thread must be >= 1, got {items_per_thread}")
+        self.items_per_thread = items_per_thread
+
+    def _reduce(self, arr: np.ndarray, launch: LaunchConfig, sched: WaveScheduler | None) -> float:
+        tpb = launch.threads_per_block
+        tile = tpb * self.items_per_thread
+        n = arr.size
+        n_tiles = (n + tile - 1) // tile
+        pad = n_tiles * tile - n
+        buf = np.concatenate([arr, np.zeros(pad, dtype=arr.dtype)])
+        # Blocked arrangement: thread t of tile accumulates items
+        # [t*ipt, (t+1)*ipt) serially (register accumulation).
+        per_thread = buf.reshape(n_tiles, tpb, self.items_per_thread)
+        regs = np.add.accumulate(per_thread, axis=2)[:, :, -1]  # (tiles, tpb)
+        # Tree-reduce every tile in lockstep (tpb is a power of two).
+        half = tpb // 2
+        while half >= 1:
+            regs = regs[:, :half] + regs[:, half : 2 * half]
+            half //= 2
+        return serial_sum(regs[:, 0])

@@ -1,0 +1,14 @@
+"""Iterative solvers with order-controlled reductions.
+
+The paper's introduction motivates the whole study with iterative
+stochastic algorithms — conjugate gradient in particular — where FPNA
+errors *accumulate* across iterations (citing Villa et al.'s Cray XMT
+measurements of divergence growing to ~20% after 6–7 iterations).  This
+package provides a CG implementation whose inner products run through any
+of the :mod:`repro.reductions` strategies, so the accumulation effect can
+be measured directly.
+"""
+
+from .cg import CGResult, conjugate_gradient, iterate_divergence, spd_test_matrix
+
+__all__ = ["CGResult", "conjugate_gradient", "iterate_divergence", "spd_test_matrix"]

@@ -1,0 +1,189 @@
+"""Conjugate gradient with injectable reduction strategies.
+
+Standard (unpreconditioned) CG for SPD systems, with every inner product —
+``r.r`` and ``p.Ap`` — evaluated by a :mod:`repro.reductions` strategy.
+With a deterministic strategy the entire trajectory is bitwise
+reproducible; with SPA/AO each run wanders a slightly different path, and
+the run-to-run divergence of the iterates *grows with iteration count* —
+the accumulation effect the paper's introduction describes.
+
+The matvec itself uses NumPy's fixed-order GEMV (deterministic per
+process), isolating the reduction strategy as the only variability source,
+exactly like the paper isolates ``index_add`` in its GNN study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigurationError, ShapeError
+from ..reductions.base import ReductionImpl
+from ..runtime import RunContext, get_context
+
+__all__ = ["CGResult", "conjugate_gradient", "spd_test_matrix", "iterate_divergence"]
+
+
+@dataclass(frozen=True)
+class CGResult:
+    """Outcome of one CG solve.
+
+    Attributes
+    ----------
+    x:
+        Final iterate.
+    converged:
+        ``True`` when the residual tolerance was met.
+    n_iter:
+        Iterations performed.
+    residuals:
+        Per-iteration residual norms (recurrence values, not recomputed).
+    iterates:
+        Per-iteration copies of ``x`` when tracking was requested, else
+        empty list.
+    """
+
+    x: np.ndarray
+    converged: bool
+    n_iter: int
+    residuals: list[float]
+    iterates: list[np.ndarray]
+
+
+def spd_test_matrix(n: int, cond: float = 1e3, rng: np.random.Generator | None = None) -> np.ndarray:
+    """Random symmetric positive-definite matrix with condition ~``cond``.
+
+    Built as ``Q diag(lambda) Q^T`` with log-spaced eigenvalues, the
+    standard CG test problem.
+    """
+    if n < 1:
+        raise ConfigurationError(f"n must be >= 1, got {n}")
+    if cond < 1:
+        raise ConfigurationError(f"cond must be >= 1, got {cond}")
+    rng = rng or get_context().data(stream=0xC6)
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    eigs = np.logspace(0, np.log10(cond), n)
+    return (q * eigs) @ q.T
+
+
+def conjugate_gradient(
+    A,
+    b,
+    *,
+    reduction: ReductionImpl | None = None,
+    x0=None,
+    tol: float = 1e-10,
+    max_iter: int | None = None,
+    track_iterates: bool = False,
+    ctx: RunContext | None = None,
+) -> CGResult:
+    """Solve ``A x = b`` for SPD ``A`` by conjugate gradient.
+
+    Parameters
+    ----------
+    A:
+        ``(n, n)`` SPD array, or a callable ``A(v) -> ndarray`` matvec.
+    b:
+        Right-hand side.
+    reduction:
+        Strategy evaluating the inner products (``None`` → NumPy's ``dot``,
+        the deterministic baseline).  Pass
+        ``repro.get_reduction("spa")`` to study FPNA accumulation.
+    tol:
+        Relative residual tolerance ``|r| <= tol * |b|``.
+    max_iter:
+        Default ``10 n``.
+    track_iterates:
+        Store a copy of ``x`` per iteration (for divergence studies).
+    """
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim != 1:
+        raise ShapeError(f"b must be 1-D, got shape {b.shape}")
+    n = b.size
+    if callable(A):
+        matvec = A
+    else:
+        A = np.asarray(A, dtype=np.float64)
+        if A.shape != (n, n):
+            raise ShapeError(f"A must be ({n}, {n}), got {A.shape}")
+        matvec = lambda v: A @ v  # noqa: E731
+
+    def dot(u, v) -> float:
+        if reduction is None:
+            return float(u @ v)
+        return reduction.sum(u * v, ctx=ctx)
+
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    if x.shape != (n,):
+        raise ShapeError(f"x0 must have shape ({n},), got {x.shape}")
+    max_iter = max_iter if max_iter is not None else 10 * n
+
+    r = b - matvec(x)
+    p = r.copy()
+    rs = dot(r, r)
+    b_norm = float(np.sqrt(b @ b)) or 1.0
+    residuals: list[float] = [float(np.sqrt(max(rs, 0.0)))]
+    iterates: list[np.ndarray] = []
+    converged = residuals[0] <= tol * b_norm
+
+    k = 0
+    while not converged and k < max_iter:
+        Ap = matvec(p)
+        pAp = dot(p, Ap)
+        if pAp <= 0:
+            # Loss of positive definiteness (can only happen numerically).
+            break
+        alpha = rs / pAp
+        x = x + alpha * p
+        r = r - alpha * Ap
+        rs_new = dot(r, r)
+        residuals.append(float(np.sqrt(max(rs_new, 0.0))))
+        if track_iterates:
+            iterates.append(x.copy())
+        converged = residuals[-1] <= tol * b_norm
+        beta = rs_new / rs
+        p = r + beta * p
+        rs = rs_new
+        k += 1
+
+    return CGResult(x=x, converged=converged, n_iter=k, residuals=residuals, iterates=iterates)
+
+
+def iterate_divergence(
+    A,
+    b,
+    *,
+    reduction: ReductionImpl,
+    n_runs: int = 5,
+    n_iter: int = 20,
+    ctx: RunContext | None = None,
+) -> np.ndarray:
+    """Per-iteration run-to-run divergence of CG trajectories.
+
+    Runs CG ``n_runs`` times with the (non-deterministic) ``reduction`` and
+    returns, for each iteration ``k``, the maximum relative L2 distance
+    between any run's iterate and the first run's —
+    ``max_j |x_k^j - x_k^0| / |x_k^0|``.  For a deterministic reduction the
+    result is identically zero; for SPA/AO it grows with ``k`` (the paper's
+    accumulating-error narrative).
+    """
+    if n_runs < 2:
+        raise ConfigurationError(f"n_runs must be >= 2, got {n_runs}")
+    trajectories = []
+    for _ in range(n_runs):
+        res = conjugate_gradient(
+            A, b, reduction=reduction, tol=0.0, max_iter=n_iter,
+            track_iterates=True, ctx=ctx,
+        )
+        trajectories.append(res.iterates)
+    depth = min(len(t) for t in trajectories)
+    out = np.zeros(depth)
+    base = trajectories[0]
+    for k in range(depth):
+        ref = base[k]
+        norm = float(np.linalg.norm(ref)) or 1.0
+        out[k] = max(
+            float(np.linalg.norm(t[k] - ref)) / norm for t in trajectories[1:]
+        )
+    return out

@@ -1,0 +1,15 @@
+"""NumPy-backed tensor with reverse-mode autograd.
+
+A deliberately small but complete autograd engine in the PyTorch idiom:
+float32 default dtype, ``requires_grad`` / ``backward()`` / ``no_grad``,
+broadcasting-aware gradients, and — the part that matters for this paper —
+indexing ops whose *backward* passes route through the non-deterministic
+scatter kernels of :mod:`repro.ops`, so training pipelines inherit exactly
+the run-to-run variability the paper measures (§V: the GraphSAGE model's
+only ND source is ``index_add``).
+"""
+
+from .tensor import Tensor, no_grad, is_grad_enabled, tensor
+from .gradcheck import gradcheck
+
+__all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled", "gradcheck"]

@@ -1,0 +1,437 @@
+"""The :class:`Tensor` class and its differentiable operations.
+
+Reverse-mode autograd over a dynamically-built DAG: every differentiable
+op records its parents and a closure computing parent gradients from the
+output gradient.  ``backward()`` runs a topological sort and accumulates.
+
+Determinism note: host-side gradient *accumulation* (a parameter used
+twice) is a fixed-order fold here — the paper's variability enters through
+the kernels themselves, specifically :func:`repro.ops.index_add` in the
+backward pass of :meth:`Tensor.gather_rows` and in forward aggregations.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+from typing import Callable, Iterator, Sequence
+
+import numpy as np
+
+from .. import ops as _ops
+from ..errors import AutogradError, ShapeError
+
+__all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled"]
+
+_grad_state = threading.local()
+
+
+def is_grad_enabled() -> bool:
+    """Whether autograd graph recording is currently on."""
+    return getattr(_grad_state, "enabled", True)
+
+
+@contextlib.contextmanager
+def no_grad() -> Iterator[None]:
+    """Disable graph recording in the enclosed block (inference mode)."""
+    prev = is_grad_enabled()
+    _grad_state.enabled = False
+    try:
+        yield
+    finally:
+        _grad_state.enabled = prev
+
+
+def _as_data(value, dtype=None) -> np.ndarray:
+    arr = np.asarray(value)
+    if dtype is not None:
+        return arr.astype(dtype, copy=False)
+    if np.issubdtype(arr.dtype, np.floating):
+        return arr.astype(np.float32, copy=False) if arr.dtype == np.float64 else arr
+    if np.issubdtype(arr.dtype, np.integer) or arr.dtype == bool:
+        return arr.astype(np.float32)
+    raise ShapeError(f"unsupported tensor dtype {arr.dtype}")
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Reduce ``grad`` back to ``shape`` after broadcasting."""
+    if grad.shape == shape:
+        return grad
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    axes = tuple(i for i, (g, s) in enumerate(zip(grad.shape, shape)) if s == 1 and g != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A NumPy array with optional gradient tracking.
+
+    Parameters
+    ----------
+    data:
+        Array-like; float64 inputs are narrowed to float32 (the PyTorch
+        default dtype, and the precision regime of the paper's Table 5).
+    requires_grad:
+        Track operations for reverse-mode differentiation.
+    dtype:
+        Optional explicit dtype (float32/float64).
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_grad_fn", "_op_name")
+
+    def __init__(self, data, requires_grad: bool = False, dtype=None) -> None:
+        self.data = _as_data(data, dtype)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._parents: tuple[Tensor, ...] = ()
+        self._grad_fn: Callable[[np.ndarray], Sequence[np.ndarray | None]] | None = None
+        self._op_name: str = "leaf"
+
+    # ------------------------------------------------------------- plumbing
+    @classmethod
+    def _from_op(
+        cls,
+        data: np.ndarray,
+        parents: tuple["Tensor", ...],
+        grad_fn: Callable[[np.ndarray], Sequence[np.ndarray | None]],
+        op_name: str,
+    ) -> "Tensor":
+        out = cls.__new__(cls)
+        out.data = data
+        out.grad = None
+        track = is_grad_enabled() and any(p.requires_grad for p in parents)
+        out.requires_grad = track
+        out._parents = parents if track else ()
+        out._grad_fn = grad_fn if track else None
+        out._op_name = op_name
+        return out
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Array shape."""
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        """Number of axes."""
+        return self.data.ndim
+
+    @property
+    def dtype(self):
+        """NumPy dtype."""
+        return self.data.dtype
+
+    @property
+    def size(self) -> int:
+        """Total element count."""
+        return self.data.size
+
+    def numpy(self) -> np.ndarray:
+        """The underlying array (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Scalar value of a one-element tensor."""
+        if self.data.size != 1:
+            raise ShapeError(f"item() requires a single element, got {self.shape}")
+        return float(self.data.reshape(())[()])
+
+    def detach(self) -> "Tensor":
+        """A view sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+
+    def zero_grad(self) -> None:
+        """Clear the accumulated gradient."""
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        grad = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, threshold=8)}{grad})"
+
+    # ------------------------------------------------------------- backward
+    def backward(self, grad=None) -> None:
+        """Accumulate gradients of this tensor w.r.t. graph leaves.
+
+        ``grad`` defaults to 1 for scalar tensors; non-scalar roots require
+        an explicit output gradient (PyTorch semantics).
+        """
+        if not self.requires_grad:
+            raise AutogradError("backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise AutogradError("grad must be given for non-scalar backward()")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=self.data.dtype)
+        if grad.shape != self.data.shape:
+            raise AutogradError(f"grad shape {grad.shape} != tensor shape {self.shape}")
+
+        topo: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                topo.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for p in node._parents:
+                if p.requires_grad and id(p) not in seen:
+                    stack.append((p, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        for node in reversed(topo):
+            g = grads.pop(id(node), None)
+            if g is None:
+                continue
+            if node._grad_fn is None:
+                node.grad = g if node.grad is None else node.grad + g
+                continue
+            parent_grads = node._grad_fn(g)
+            for p, pg in zip(node._parents, parent_grads):
+                if pg is None or not p.requires_grad:
+                    continue
+                pg = np.asarray(pg, dtype=p.data.dtype)
+                if id(p) in grads:
+                    grads[id(p)] = grads[id(p)] + pg
+                else:
+                    grads[id(p)] = pg
+
+    # ----------------------------------------------------------- arithmetic
+    def _coerce(self, other) -> "Tensor":
+        return other if isinstance(other, Tensor) else Tensor(
+            np.asarray(other, dtype=self.data.dtype)
+        )
+
+    def __add__(self, other) -> "Tensor":
+        o = self._coerce(other)
+        data = self.data + o.data
+        return Tensor._from_op(
+            data,
+            (self, o),
+            lambda g: (_unbroadcast(g, self.shape), _unbroadcast(g, o.shape)),
+            "add",
+        )
+
+    __radd__ = __add__
+
+    def __sub__(self, other) -> "Tensor":
+        o = self._coerce(other)
+        data = self.data - o.data
+        return Tensor._from_op(
+            data,
+            (self, o),
+            lambda g: (_unbroadcast(g, self.shape), _unbroadcast(-g, o.shape)),
+            "sub",
+        )
+
+    def __rsub__(self, other) -> "Tensor":
+        return self._coerce(other).__sub__(self)
+
+    def __mul__(self, other) -> "Tensor":
+        o = self._coerce(other)
+        data = self.data * o.data
+        return Tensor._from_op(
+            data,
+            (self, o),
+            lambda g: (
+                _unbroadcast(g * o.data, self.shape),
+                _unbroadcast(g * self.data, o.shape),
+            ),
+            "mul",
+        )
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        o = self._coerce(other)
+        data = self.data / o.data
+        return Tensor._from_op(
+            data,
+            (self, o),
+            lambda g: (
+                _unbroadcast(g / o.data, self.shape),
+                _unbroadcast(-g * self.data / (o.data * o.data), o.shape),
+            ),
+            "div",
+        )
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return self._coerce(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._from_op(-self.data, (self,), lambda g: (-g,), "neg")
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise AutogradError("only scalar exponents are supported")
+        data = self.data**exponent
+        return Tensor._from_op(
+            data,
+            (self,),
+            lambda g: (g * exponent * self.data ** (exponent - 1),),
+            "pow",
+        )
+
+    def __matmul__(self, other) -> "Tensor":
+        o = self._coerce(other)
+        if self.data.ndim < 1 or o.data.ndim < 1:
+            raise ShapeError("matmul requires at least 1-D operands")
+        data = self.data @ o.data
+
+        def grad_fn(g: np.ndarray):
+            a, b = self.data, o.data
+            if a.ndim == 2 and b.ndim == 2:
+                return (g @ b.T, a.T @ g)
+            if a.ndim == 1 and b.ndim == 2:
+                return (g @ b.T, np.outer(a, g))
+            if a.ndim == 2 and b.ndim == 1:
+                return (np.outer(g, b), a.T @ g)
+            raise AutogradError(f"matmul backward unsupported for {a.shape} @ {b.shape}")
+
+        return Tensor._from_op(data, (self, o), grad_fn, "matmul")
+
+    # ----------------------------------------------------------- reductions
+    def sum(self, dim: int | tuple[int, ...] | None = None, keepdim: bool = False) -> "Tensor":
+        """Sum over ``dim`` (all axes when None)."""
+        data = self.data.sum(axis=dim, keepdims=keepdim)
+
+        def grad_fn(g: np.ndarray):
+            if dim is None:
+                return (np.broadcast_to(g, self.shape).astype(self.data.dtype),)
+            gg = g
+            if not keepdim:
+                axes = (dim,) if isinstance(dim, int) else tuple(dim)
+                for ax in sorted(a % self.ndim for a in axes):
+                    gg = np.expand_dims(gg, ax)
+            return (np.broadcast_to(gg, self.shape).astype(self.data.dtype),)
+
+        return Tensor._from_op(np.asarray(data), (self,), grad_fn, "sum")
+
+    def mean(self, dim: int | tuple[int, ...] | None = None, keepdim: bool = False) -> "Tensor":
+        """Arithmetic mean over ``dim``."""
+        if dim is None:
+            count = self.data.size
+        else:
+            axes = (dim,) if isinstance(dim, int) else tuple(dim)
+            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        return self.sum(dim=dim, keepdim=keepdim) * (1.0 / count)
+
+    # -------------------------------------------------------------- shaping
+    def reshape(self, *shape) -> "Tensor":
+        """Reshape (view semantics on data)."""
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        data = self.data.reshape(shape)
+        src_shape = self.shape
+        return Tensor._from_op(
+            data, (self,), lambda g: (g.reshape(src_shape),), "reshape"
+        )
+
+    def transpose(self) -> "Tensor":
+        """2-D transpose."""
+        if self.ndim != 2:
+            raise ShapeError(f"transpose() supports 2-D tensors, got {self.shape}")
+        return Tensor._from_op(self.data.T, (self,), lambda g: (g.T,), "transpose")
+
+    @property
+    def T(self) -> "Tensor":
+        """Alias for :meth:`transpose`."""
+        return self.transpose()
+
+    # ------------------------------------------------------------ nonlinear
+    def relu(self) -> "Tensor":
+        """Rectified linear unit."""
+        mask = self.data > 0
+        return Tensor._from_op(
+            self.data * mask, (self,), lambda g: (g * mask,), "relu"
+        )
+
+    def exp(self) -> "Tensor":
+        """Elementwise exponential."""
+        data = np.exp(self.data)
+        return Tensor._from_op(data, (self,), lambda g: (g * data,), "exp")
+
+    def log(self) -> "Tensor":
+        """Elementwise natural log."""
+        return Tensor._from_op(
+            np.log(self.data), (self,), lambda g: (g / self.data,), "log"
+        )
+
+    def tanh(self) -> "Tensor":
+        """Elementwise tanh."""
+        data = np.tanh(self.data)
+        return Tensor._from_op(data, (self,), lambda g: (g * (1 - data * data),), "tanh")
+
+    def sigmoid(self) -> "Tensor":
+        """Elementwise logistic sigmoid."""
+        data = 1.0 / (1.0 + np.exp(-self.data))
+        return Tensor._from_op(data, (self,), lambda g: (g * data * (1 - data),), "sigmoid")
+
+    def log_softmax(self, dim: int = -1) -> "Tensor":
+        """Numerically stable log-softmax along ``dim``."""
+        x = self.data
+        m = x.max(axis=dim, keepdims=True)
+        z = x - m
+        lse = np.log(np.exp(z).sum(axis=dim, keepdims=True))
+        out = z - lse
+
+        def grad_fn(g: np.ndarray):
+            soft = np.exp(out)
+            return (g - soft * g.sum(axis=dim, keepdims=True),)
+
+        return Tensor._from_op(out, (self,), grad_fn, "log_softmax")
+
+    # -------------------------------------------------------------- indexing
+    def gather_rows(self, index) -> "Tensor":
+        """Row gather (``index_select`` dim 0).
+
+        **The backward pass is** :func:`repro.ops.index_add` — the paper's
+        canonical non-deterministic kernel — so differentiating through a
+        gather injects run-to-run variability unless deterministic
+        algorithms are enabled.
+        """
+        idx = np.asarray(index)
+        data = _ops.gather_rows(self.data, idx)
+        n_rows = self.shape[0]
+
+        def grad_fn(g: np.ndarray):
+            zeros = np.zeros_like(self.data)
+            return (_ops.index_add(zeros, 0, idx, g),)
+
+        return Tensor._from_op(data, (self,), grad_fn, "gather_rows")
+
+    def index_add(self, index, source: "Tensor") -> "Tensor":
+        """Differentiable :func:`repro.ops.index_add` (dim 0).
+
+        Forward non-determinism follows the global switch; the backward
+        w.r.t. ``source`` is a deterministic gather.
+        """
+        src = source if isinstance(source, Tensor) else Tensor(source)
+        idx = np.asarray(index)
+        data = _ops.index_add(self.data, 0, idx, src.data)
+
+        def grad_fn(g: np.ndarray):
+            return (g, _ops.gather_rows(g, idx))
+
+        return Tensor._from_op(data, (self, src), grad_fn, "index_add")
+
+    def __getitem__(self, key) -> "Tensor":
+        data = self.data[key]
+
+        def grad_fn(g: np.ndarray):
+            full = np.zeros_like(self.data)
+            np.add.at(full, key, g)
+            return (full,)
+
+        return Tensor._from_op(np.asarray(data), (self,), grad_fn, "getitem")
+
+
+def tensor(data, requires_grad: bool = False, dtype=None) -> Tensor:
+    """Factory mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)

@@ -1,0 +1,29 @@
+"""Shared fixtures: isolated run contexts and clean determinism state."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.runtime import RunContext
+
+
+@pytest.fixture()
+def ctx() -> RunContext:
+    """A fresh, fixed-seed run context per test."""
+    return RunContext(seed=1234)
+
+
+@pytest.fixture()
+def rng(ctx) -> np.random.Generator:
+    """A data generator from the test context."""
+    return ctx.data()
+
+
+@pytest.fixture(autouse=True)
+def _reset_determinism():
+    """Every test starts and ends with deterministic algorithms off."""
+    repro.use_deterministic_algorithms(False)
+    yield
+    repro.use_deterministic_algorithms(False)

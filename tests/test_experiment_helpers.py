@@ -1,0 +1,120 @@
+"""Tests for the shared experiment machinery (_sumdist, _opruns, _gnn)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments._gnn import (
+    build_lpu_gnn_program,
+    gnn_inference_cost_us,
+    gnn_training_cost_s,
+    run_inference,
+    train_graphsage,
+)
+from repro.experiments._opruns import (
+    OpVariability,
+    index_add_variability,
+    scatter_reduce_variability,
+)
+from repro.experiments._sumdist import ao_vs_samples, sample_array, spa_vs_samples
+from repro.graph import cora_like
+from repro.reductions import get_reduction
+from repro.runtime import RunContext
+
+
+class TestSumdist:
+    def test_sample_array_distributions(self, rng):
+        for dist in ("uniform", "normal", "boltzmann"):
+            x = sample_array(rng, 1000, dist)
+            assert x.shape == (1000,)
+        with pytest.raises(ValueError):
+            sample_array(rng, 10, "levy")
+
+    def test_uniform_positivity(self, rng):
+        assert np.all(sample_array(rng, 1000, "uniform") >= 0)
+
+    def test_spa_samples_match_reduction_class(self):
+        # The hoisted-partials shortcut must be bit-identical to calling
+        # the SinglePassAtomic class directly.
+        ctx_a, ctx_b = RunContext(4), RunContext(4)
+        x = ctx_a.data(9).uniform(0, 10, 10_000)
+        vs_fast = spa_vs_samples(x, 5, ctx_a, threads_per_block=64)
+
+        spa = get_reduction("spa", threads_per_block=64)
+        sptr = get_reduction("sptr", threads_per_block=64)
+        s_d = sptr.sum(x)
+        vs_slow = np.array([
+            1.0 - abs(spa.sum(x, ctx=ctx_b) / s_d) for _ in range(5)
+        ])
+        np.testing.assert_array_equal(vs_fast, vs_slow)
+
+    def test_ao_samples_shape_and_variation(self, ctx):
+        x = sample_array(ctx.data(1), 5_000, "uniform")
+        vs = ao_vs_samples(x, 30, ctx)
+        assert vs.shape == (30,)
+        assert np.unique(vs).size > 1
+
+
+class TestOpruns:
+    def test_scatter_reduce_variability_fields(self, ctx):
+        v = scatter_reduce_variability(500, 0.5, "sum", 10, ctx)
+        assert isinstance(v, OpVariability)
+        assert v.n_runs == 10
+        assert 0 <= v.vc_mean <= 1
+
+    def test_index_add_variability_uses_deterministic_reference(self, ctx):
+        v = index_add_variability(60, 0.5, 10, ctx)
+        assert v.n_runs == 10
+        assert np.isfinite(v.ermv_mean)
+
+    def test_workloads_stable_across_calls(self):
+        a = scatter_reduce_variability(500, 0.5, "sum", 8, RunContext(5))
+        b = scatter_reduce_variability(500, 0.5, "sum", 8, RunContext(5))
+        assert a == b
+
+
+class TestGnnHelpers:
+    @pytest.fixture(scope="class")
+    def ds(self):
+        return cora_like(num_nodes=100, num_edges=200, num_features=16,
+                         num_classes=3, ctx=RunContext(0))
+
+    def test_training_produces_snapshots_and_losses(self, ds):
+        run = train_graphsage(ds, hidden=4, epochs=3, lr=0.01,
+                              deterministic=True, ctx=RunContext(0))
+        assert len(run.losses) == 3
+        assert len(run.epoch_weights) == 3
+        assert run.weights.shape == run.epoch_weights[-1].shape
+
+    def test_deterministic_training_replayable(self, ds):
+        a = train_graphsage(ds, hidden=4, epochs=2, lr=0.01,
+                            deterministic=True, ctx=RunContext(0))
+        b = train_graphsage(ds, hidden=4, epochs=2, lr=0.01,
+                            deterministic=True, ctx=RunContext(0))
+        np.testing.assert_array_equal(a.weights, b.weights)
+
+    def test_inference_shape(self, ds):
+        run = train_graphsage(ds, hidden=4, epochs=1, lr=0.01,
+                              deterministic=True, ctx=RunContext(0))
+        logits = run_inference(run.model, ds, deterministic=True)
+        assert logits.shape == (100, 3)
+
+    def test_inference_cost_deterministic_penalty(self):
+        dims = dict(n_nodes=2708, n_directed_edges=10858,
+                    n_features=1433, hidden=16, n_classes=7)
+        t_d = gnn_inference_cost_us("h100", deterministic=True, **dims)
+        t_nd = gnn_inference_cost_us("h100", deterministic=False, **dims)
+        assert 1.2 < t_d / t_nd < 3.0  # paper ratio: 3.92/2.17 = 1.81
+
+    def test_training_cost_direction(self):
+        dims = dict(epochs=10, n_nodes=2708, n_directed_edges=10858,
+                    n_features=1433, hidden=16, n_classes=7)
+        assert gnn_training_cost_s("h100", deterministic=True, **dims) > \
+            gnn_training_cost_s("h100", deterministic=False, **dims)
+
+    def test_lpu_program_structure(self):
+        prog = build_lpu_gnn_program(
+            n_nodes=100, n_directed_edges=200, n_features=8,
+            hidden=4, n_classes=3,
+        )
+        names = [n.name for n in prog.nodes]
+        assert names == ["agg0", "lin0", "act0", "agg1", "lin1", "act1", "softmax"]

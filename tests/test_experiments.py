@@ -1,0 +1,258 @@
+"""Tests for the experiment harness: every table/figure regenerates with the
+paper's qualitative shape at reduced scale."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import get_experiment, list_experiments, to_json, to_markdown
+from repro.runtime import RunContext
+
+ALL_IDS = (
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7",
+    "table8", "fig1", "fig2", "fig3", "fig4", "fig5", "maxvs",
+)
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = list_experiments()
+        for eid in ALL_IDS:
+            assert eid in ids
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("table99")
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("table1").run(scale="galactic")
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("table1").run(bogus_param=3)
+
+
+class TestTable1:
+    def test_shape(self):
+        res = get_experiment("table1").run(ctx=RunContext(0), sizes=(100, 10_000))
+        assert len(res.rows) == 4
+        assert {"size", "s_nd_minus_s_d", "vs"} <= set(res.rows[0])
+
+    def test_variability_nonzero_at_scale(self):
+        res = get_experiment("table1").run(ctx=RunContext(0), sizes=(100_000,), repeats=4)
+        assert any(r["s_nd_minus_s_d"] != 0 for r in res.rows)
+
+    def test_reproducible_given_seed(self):
+        a = get_experiment("table1").run(ctx=RunContext(3))
+        b = get_experiment("table1").run(ctx=RunContext(3))
+        assert a.rows == b.rows
+
+
+class TestTable2:
+    def test_matches_paper(self):
+        rows = {r["method"]: r for r in get_experiment("table2").run().rows}
+        assert rows["AO"]["deterministic"] == "No"
+        assert rows["SPA"]["deterministic"] == "No"
+        for m in ("CU", "SPTR", "SPRG", "TPRC"):
+            assert rows[m]["deterministic"] == "Yes"
+        assert rows["TPRC"]["n_kernels"] == 2
+        assert rows["SPTR"]["synchronization"] == "__threadfence"
+
+
+class TestTable3:
+    def test_ordered_stable_normal_varies(self):
+        res = get_experiment("table3").run(ctx=RunContext(0))
+        assert res.extra["n_unique_ordered"] == 1
+        assert res.extra["n_unique_normal"] > 1
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return get_experiment("table4").run(ctx=RunContext(0))
+
+    def test_ao_dominates_everywhere(self, result):
+        for gpu in ("v100", "gh200"):
+            rows = [r for r in result.rows if r["gpu"] == gpu]
+            ao = next(r for r in rows if r["implementation"] == "AO")
+            fastest = min(r["time_100_sums_ms"] for r in rows)
+            assert ao["time_100_sums_ms"] > 100 * fastest
+
+    def test_fastest_implementation_per_device(self, result):
+        def fastest(gpu):
+            rows = [r for r in result.rows if r["gpu"] == gpu]
+            return min(rows, key=lambda r: r["time_100_sums_ms"])["implementation"]
+
+        assert fastest("v100") == "SPA"
+        assert fastest("gh200") == "SPA"
+        assert fastest("mi250x") == "TPRC"
+
+    def test_penalty_sign_convention(self, result):
+        assert all(r["ps_percent"] <= 0 for r in result.rows)
+
+    def test_mi250x_has_no_ao_row(self, result):
+        # AO needs unsafe compiler mode on AMD; the paper omits it.
+        assert not any(
+            r["gpu"] == "mi250x" and r["implementation"] == "AO" for r in result.rows
+        )
+
+    def test_close_to_paper_magnitudes(self, result):
+        for r in result.rows:
+            if r.get("paper_time_ms"):
+                assert r["time_100_sums_ms"] == pytest.approx(r["paper_time_ms"], rel=0.15)
+
+
+class TestFig1Fig2:
+    def test_spa_is_normal_ao_is_not(self):
+        # Default-scale parameters: the contrast needs enough runs for the
+        # KL estimator and enough partials for SPA's ulp ladder.
+        f1 = get_experiment("fig1").run(ctx=RunContext(0))
+        assert all(r["frac_arrays_normal_by_kl"] >= 0.5 for r in f1.rows)
+
+        f2 = get_experiment("fig2").run(ctx=RunContext(0))
+        rows = {r["implementation"]: r for r in f2.rows}
+        assert rows["AO"]["median_kl_to_normal"] > rows["SPA"]["median_kl_to_normal"]
+        assert rows["SPA"]["frac_arrays_normal_by_kl"] >= 0.5
+
+    def test_fig1_pdf_series_exported(self):
+        res = get_experiment("fig1").run(
+            ctx=RunContext(0), n_elements=30_000, n_arrays=2, n_runs=120
+        )
+        assert "pdf_uniform" in res.extra and "pdf_normal" in res.extra
+        pdf = res.extra["pdf_uniform"]
+        assert len(pdf["centers_x1e16"]) == len(pdf["density"])
+
+    def test_ao_wider_than_spa(self):
+        res = get_experiment("fig2").run(
+            ctx=RunContext(1), n_elements=20_000, n_arrays=2, n_runs=250
+        )
+        rows = {r["implementation"]: r for r in res.rows}
+        assert rows["AO"]["vs_std_x1e16"] > rows["SPA"]["vs_std_x1e16"]
+
+
+class TestFig3Fig4Fig5:
+    def test_fig4_shapes(self):
+        res = get_experiment("fig4").run(
+            ctx=RunContext(0), ratios=(0.2, 0.6, 1.0), n_runs=25
+        )
+        by_r = {r["R"]: r for r in res.rows}
+        # index_add rises with R.
+        assert by_r[1.0]["index_add_vc"] > by_r[0.2]["index_add_vc"]
+        # scatter_reduce jumps at R = 1.
+        assert by_r[1.0]["scatter_reduce_sum_vc"] > 2 * by_r[0.6]["scatter_reduce_sum_vc"]
+
+    def test_fig3_vc_grows_with_input_dim(self):
+        res = get_experiment("fig3").run(
+            ctx=RunContext(0), sr_dims=(1_000, 10_000), ia_dims=(10, 100),
+            ratios=(0.5,), n_runs=12,
+        )
+        sr = [r for r in res.rows if r["op"] == "scatter_reduce"]
+        ia = [r for r in res.rows if r["op"] == "index_add"]
+        assert sr[-1]["vc_mean"] > sr[0]["vc_mean"]
+        assert ia[-1]["vc_mean"] > ia[0]["vc_mean"]
+
+    def test_fig5_vermv_positive_and_rising_for_index_add(self):
+        res = get_experiment("fig5").run(
+            ctx=RunContext(0), ratios=(0.2, 1.0), n_runs=25
+        )
+        by_r = {r["R"]: r for r in res.rows}
+        assert by_r[1.0]["index_add_ermv"] > by_r[0.2]["index_add_ermv"]
+
+
+class TestTable5:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return get_experiment("table5").run(ctx=RunContext(0), n_runs=10)
+
+    def test_all_ops_present(self, result):
+        ops = {r["operation"] for r in result.rows}
+        assert {
+            "ConvTranspose1d", "ConvTranspose2d", "ConvTranspose3d",
+            "cumsum", "index_add", "scatter_reduce",
+            "index_copy", "index_put", "scatter",
+        } <= ops
+
+    def test_magnitude_band(self, result):
+        # fp32 regime: everything below ~1e-3, strongest ops nonzero.
+        for r in result.rows:
+            assert r["max_ermv"] < 1e-2
+        strong = {r["operation"]: r for r in result.rows}
+        assert strong["index_add"]["max_ermv"] > 0
+
+    def test_some_zero_minima(self, result):
+        # Paper: several ops have min(Vermv) = 0.
+        assert any(r["min_ermv"] == 0 for r in result.rows)
+
+
+class TestTable6Table8:
+    def test_table6_shape(self):
+        res = get_experiment("table6").run(ctx=RunContext(0))
+        rows = {r["operation"]: r for r in res.rows}
+        assert rows["scatter_reduce(sum)"]["h100_d_us"] == "N/A"
+        ia = rows["index_add"]
+        assert ia["h100_d_us"] > 5 * ia["h100_nd_us"]
+        assert ia["groq_d_us"] < ia["h100_d_us"]
+
+    def test_table8_shape(self):
+        res = get_experiment("table8").run(ctx=RunContext(0))
+        det = next(r for r in res.rows if r["inference"] == "Deterministic")
+        nd = next(r for r in res.rows if r["inference"] == "Non-deterministic")
+        assert det["h100_ms"] > nd["h100_ms"]
+        assert res.extra["lpu_speedup_vs_gpu"] > 10
+
+
+class TestTable7:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return get_experiment("table7").run(
+            ctx=RunContext(0), num_nodes=150, num_edges=300, num_features=24,
+            hidden=8, epochs=3, n_models=4,
+        )
+
+    def test_dd_row_is_exactly_zero(self, result):
+        dd = next(r for r in result.rows if (r["training"], r["inference"]) == ("D", "D"))
+        assert dd["ermv_mean"] == 0.0 and dd["vc_mean"] == 0.0
+
+    def test_nd_training_dominates(self, result):
+        rows = {(r["training"], r["inference"]): r for r in result.rows}
+        assert rows[("ND", "ND")]["vc_mean"] >= rows[("D", "ND")]["vc_mean"]
+        assert rows[("ND", "D")]["vc_mean"] > 0
+
+    def test_nd_weights_all_unique(self, result):
+        assert result.extra["all_weights_unique"] is True
+
+    def test_epoch_drift_recorded(self, result):
+        drift = result.extra["epoch_drift"]
+        assert len(drift) == 3
+        assert drift[-1]["weight_ermv_mean"] >= drift[0]["weight_ermv_mean"]
+
+
+class TestMaxVs:
+    def test_power_law_exponents(self):
+        res = get_experiment("maxvs").run(
+            ctx=RunContext(0), sizes=(1_000, 8_000, 64_000), n_arrays=3, n_runs=80
+        )
+        fits = res.extra["fits"]
+        assert 0.3 < fits["uniform"]["alpha"] < 0.75
+        assert fits["uniform"]["r_squared"] > 0.9
+        # The normal-input fit is much noisier (max|Vs| is dominated by the
+        # near-cancelling arrays); at this scale we only require a valid,
+        # positive-exponent fit.  EXPERIMENTS.md records the paper-scale
+        # comparison.
+        assert fits["normal"]["alpha"] > 0
+
+
+class TestReporting:
+    def test_markdown_renders(self):
+        res = get_experiment("table2").run()
+        md = to_markdown(res)
+        assert "| method |" in md and "Table 2" in md
+
+    def test_json_round_trips(self):
+        import json
+
+        res = get_experiment("table2").run()
+        data = json.loads(to_json(res))
+        assert data["experiment_id"] == "table2"
+        assert len(data["rows"]) == 6

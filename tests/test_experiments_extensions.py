@@ -1,0 +1,46 @@
+"""Tests for the extension experiments (figS1, cgdiv)."""
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.runtime import RunContext
+
+
+class TestFigS1Devices:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return get_experiment("figS1").run(
+            ctx=RunContext(0), n_elements=60_000, n_arrays=2, n_runs=200
+        )
+
+    def test_all_families_present(self, result):
+        assert {r["device"] for r in result.rows} == {"v100", "gh200", "mi250x"}
+
+    def test_shapes_similar_normal(self, result):
+        # "the shapes are similar": majority of arrays normal per family.
+        assert sum(r["frac_arrays_normal_by_kl"] >= 0.5 for r in result.rows) >= 2
+
+    def test_moments_are_per_family(self, result):
+        means = [r["vs_mean_x1e16"] for r in result.rows]
+        assert len(set(means)) == 3  # distinct per family
+
+
+class TestCgDivergence:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return get_experiment("cgdiv").run(
+            ctx=RunContext(0), n=120, cond=1e3, n_runs=3, n_iter=20
+        )
+
+    def test_nd_divergence_grows(self, result):
+        nd = [r["nd_divergence"] for r in result.rows]
+        assert nd[-1] > nd[0]
+
+    def test_deterministic_divergence_is_zero(self, result):
+        assert all(r["d_divergence"] == 0.0 for r in result.rows)
+
+    def test_growth_factor_reported(self, result):
+        assert result.extra["nd_growth"] > 1.0
+
+    def test_iteration_counts_recorded(self, result):
+        assert len(result.extra["iteration_counts"]) >= 1

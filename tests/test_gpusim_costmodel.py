@@ -1,0 +1,124 @@
+"""Tests for the analytic timing model (Tables 4/6 shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.gpusim import CostModel, get_device
+
+N_PAPER = 4_194_304
+
+
+@pytest.fixture()
+def v100():
+    return CostModel(get_device("v100"))
+
+
+class TestReductionTimes:
+    def test_ao_two_orders_slower_everywhere(self):
+        for dev in ("v100", "gh200", "mi250x"):
+            cm = CostModel(get_device(dev))
+            fast = min(cm.reduction_time_us(i, N_PAPER) for i in ("spa", "sptr", "tprc", "cu"))
+            assert cm.reduction_time_us("ao", N_PAPER) > 100 * fast
+
+    def test_spa_fastest_on_nvidia(self):
+        for dev in ("v100", "gh200"):
+            cm = CostModel(get_device(dev))
+            times = {i: cm.reduction_time_us(i, N_PAPER) for i in ("spa", "sptr", "tprc", "cu")}
+            assert min(times, key=times.get) == "spa"
+
+    def test_tprc_fastest_on_mi250x(self):
+        cm = CostModel(get_device("mi250x"))
+        times = {i: cm.reduction_time_us(i, N_PAPER) for i in ("spa", "sptr", "tprc", "cu")}
+        assert min(times, key=times.get) == "tprc"
+
+    def test_deterministic_penalty_small(self):
+        # Paper: deterministic strategies within ~8% of the fastest.
+        for dev in ("v100", "gh200", "mi250x"):
+            cm = CostModel(get_device(dev))
+            times = {i: cm.reduction_time_us(i, N_PAPER) for i in ("spa", "sptr", "tprc", "cu")}
+            tmin = min(times.values())
+            for impl in ("sptr", "tprc", "cu"):
+                assert times[impl] <= 1.09 * tmin
+
+    def test_paper_magnitudes_v100(self, v100):
+        # 64.56 us per sum in the paper.
+        assert v100.reduction_time_us("spa", N_PAPER) == pytest.approx(64.56, rel=0.02)
+
+    def test_ao_magnitude_v100(self, v100):
+        # 8.72 ms per sum in the paper.
+        assert v100.reduction_time_us("ao", N_PAPER) == pytest.approx(8720, rel=0.02)
+
+    def test_time_scales_with_n(self, v100):
+        t1 = v100.reduction_time_us("sptr", 1 << 20)
+        t2 = v100.reduction_time_us("sptr", 1 << 22)
+        assert t2 == pytest.approx(4 * t1, rel=0.05)
+
+    def test_unknown_impl_rejected(self, v100):
+        with pytest.raises(ConfigurationError):
+            v100.reduction_time_us("bogus", 100)
+
+    def test_invalid_n_rejected(self, v100):
+        with pytest.raises(ConfigurationError):
+            v100.reduction_time_us("spa", 0)
+
+
+class TestSampling:
+    def test_sample_statistics(self, v100, ctx):
+        s = v100.sample_reduction("spa", N_PAPER, ctx.scheduler(), n_samples=20)
+        assert s.n == 20
+        assert s.std_us < 0.01 * s.mean_us
+        assert s.mean_us == pytest.approx(v100.reduction_time_us("spa", N_PAPER), rel=0.01)
+
+    def test_sampling_reproducible_given_rng(self, v100):
+        from repro.runtime import RunContext
+
+        a = v100.sample_reduction("spa", 1000, RunContext(3).scheduler())
+        b = v100.sample_reduction("spa", 1000, RunContext(3).scheduler())
+        assert a == b
+
+
+class TestPerformancePenalty:
+    def test_fastest_has_zero_penalty(self, v100):
+        times = {"a": 10.0, "b": 12.0}
+        ps = v100.performance_penalty(times)
+        assert ps["a"] == 0.0
+        assert ps["b"] == pytest.approx(-20.0)
+
+    def test_matches_paper_formula(self, v100):
+        # GH200 AO row: 100 * (1 - 738.687/3.019) = -24365.7
+        ps = v100.performance_penalty({"spa": 3.019, "ao": 738.687})
+        assert ps["ao"] == pytest.approx(-24365.7, rel=1e-3)
+
+    def test_empty_dict(self, v100):
+        assert v100.performance_penalty({}) == {}
+
+
+class TestOpTimes:
+    def test_scatter_reduce_deterministic_unavailable(self):
+        cm = CostModel(get_device("h100"))
+        with pytest.raises(ConfigurationError):
+            cm.op_time_us("scatter_reduce", "sum", bytes_moved=1000, deterministic=True)
+
+    def test_index_add_deterministic_penalty(self):
+        cm = CostModel(get_device("h100"))
+        nd = cm.op_time_us("index_add", "sum", bytes_moved=8_000_000)
+        d = cm.op_time_us("index_add", "sum", bytes_moved=8_000_000, deterministic=True)
+        assert d == pytest.approx(12.6 * nd, rel=1e-6)
+
+    def test_paper_table6_magnitudes(self):
+        cm = CostModel(get_device("h100"))
+        sr = cm.op_time_us("scatter_reduce", "sum", bytes_moved=14_000)
+        assert sr == pytest.approx(30.2, rel=0.05)
+        mean = cm.op_time_us("scatter_reduce", "mean", bytes_moved=14_000)
+        assert mean == pytest.approx(74.9, rel=0.05)
+
+    def test_flops_term(self):
+        cm = CostModel(get_device("h100"))
+        t0 = cm.op_time_us("matmul", "gemm", bytes_moved=0, flops=0)
+        t1 = cm.op_time_us("matmul", "gemm", bytes_moved=0, flops=10**12)
+        assert t1 > t0 + 10
+
+    def test_unknown_op_falls_back(self):
+        cm = CostModel(get_device("h100"))
+        assert cm.op_time_us("relu", "map", bytes_moved=1000) > 0

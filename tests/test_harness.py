@@ -1,0 +1,132 @@
+"""Tests for the sweep/timing/results/CLI harness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments import get_experiment
+from repro.harness import Sweep, TimingStats, grid, load_result, save_result, time_callable
+from repro.harness.cli import build_parser, main
+from repro.runtime import RunContext
+
+
+class TestGrid:
+    def test_cartesian_product(self):
+        pts = list(grid(a=[1, 2], b=["x", "y"]))
+        assert len(pts) == 4
+        assert {"a": 2, "b": "y"} in pts
+
+    def test_empty_axes(self):
+        assert list(grid()) == [{}]
+
+    def test_order_is_row_major(self):
+        pts = list(grid(a=[1, 2], b=[10, 20]))
+        assert pts[0] == {"a": 1, "b": 10}
+        assert pts[1] == {"a": 1, "b": 20}
+
+
+class TestSweep:
+    def test_runner_rows_merged_with_points(self):
+        s = Sweep("demo", {"n": [1, 2, 3]}, lambda n: {"sq": n * n})
+        rows = s.run()
+        assert rows == [
+            {"n": 1, "sq": 1},
+            {"n": 2, "sq": 4},
+            {"n": 3, "sq": 9},
+        ]
+
+    def test_column_extraction(self):
+        s = Sweep("demo", {"n": [1, 2]}, lambda n: {"sq": n * n})
+        s.run()
+        assert s.column("sq") == [1, 4]
+
+    def test_limit(self):
+        s = Sweep("demo", {"n": list(range(100))}, lambda n: {"v": n})
+        assert len(s.run(limit=5)) == 5
+
+    def test_non_dict_row_rejected(self):
+        s = Sweep("demo", {"n": [1]}, lambda n: n)
+        with pytest.raises(ConfigurationError):
+            s.run()
+
+    def test_non_callable_runner_rejected(self):
+        s = Sweep("demo", {"n": [1]}, runner=None)
+        with pytest.raises(ConfigurationError):
+            s.run()
+
+
+class TestTiming:
+    def test_time_callable_statistics(self):
+        stats = time_callable(lambda: sum(range(1000)), repeats=5)
+        assert isinstance(stats, TimingStats)
+        assert stats.n == 5
+        assert stats.min_s <= stats.mean_s <= stats.max_s
+
+    def test_args_forwarded(self):
+        calls = []
+        time_callable(lambda x: calls.append(x), 7, repeats=2, warmup=1)
+        assert calls == [7, 7, 7]
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            time_callable(lambda: None, repeats=0)
+        with pytest.raises(ConfigurationError):
+            time_callable(lambda: None, warmup=-1)
+
+
+class TestResults:
+    def test_save_and_load_round_trip(self, tmp_path):
+        res = get_experiment("table2").run()
+        path = save_result(res, tmp_path)
+        assert path.exists()
+        loaded = load_result(path)
+        assert loaded.experiment_id == "table2"
+        assert loaded.rows == res.rows
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(ExperimentError):
+            load_result(tmp_path / "nothing.json")
+
+    def test_malformed_file_raises(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text(json.dumps({"rows": []}))
+        with pytest.raises(ExperimentError):
+            load_result(p)
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig5" in out
+
+    def test_run_markdown(self, capsys):
+        assert main(["run", "table2"]) == 0
+        assert "| method |" in capsys.readouterr().out
+
+    def test_run_json(self, capsys):
+        assert main(["run", "table2", "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["experiment_id"] == "table2"
+
+    def test_run_with_output_dir(self, tmp_path, capsys):
+        assert main(["run", "table2", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "table2_default.json").exists()
+
+    def test_unknown_experiment_is_error(self, capsys):
+        assert main(["run", "tableX"]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_seed_changes_stochastic_results(self, capsys):
+        main(["run", "table1", "--json", "--seed", "1"])
+        a = json.loads(capsys.readouterr().out)
+        main(["run", "table1", "--json", "--seed", "2"])
+        b = json.loads(capsys.readouterr().out)
+        assert a["rows"] != b["rows"]
+
+    def test_parser_structure(self):
+        p = build_parser()
+        args = p.parse_args(["run", "fig1", "--scale", "paper"])
+        assert args.experiment_id == "fig1" and args.scale == "paper"

@@ -1,0 +1,75 @@
+"""Tests for the scalar variability metric Vs (paper eq. in SII-1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.metrics import scalar_variability, scalar_variability_many
+
+
+class TestScalarVariability:
+    def test_identical_values_give_zero(self):
+        assert scalar_variability(1.5, 1.5) == 0.0
+
+    def test_equal_magnitude_opposite_sign_gives_zero(self):
+        # Vs uses |nd/d|, so the metric sees magnitudes only.
+        assert scalar_variability(-2.0, 2.0) == 0.0
+
+    def test_smaller_nd_is_positive(self):
+        assert scalar_variability(0.5, 1.0) == pytest.approx(0.5)
+
+    def test_larger_nd_is_negative(self):
+        assert scalar_variability(2.0, 1.0) == pytest.approx(-1.0)
+
+    def test_one_ulp_perturbation_magnitude(self):
+        d = 1.0
+        nd = np.nextafter(1.0, 2.0)
+        vs = scalar_variability(nd, d)
+        assert vs == pytest.approx(-np.finfo(np.float64).eps, rel=1e-6)
+
+    def test_both_zero_gives_zero(self):
+        assert scalar_variability(0.0, 0.0) == 0.0
+
+    def test_zero_reference_nonzero_nd_gives_neg_inf(self):
+        assert scalar_variability(1e-300, 0.0) == -math.inf
+
+    def test_nan_propagates(self):
+        assert math.isnan(scalar_variability(float("nan"), 1.0))
+        assert math.isnan(scalar_variability(1.0, float("nan")))
+
+    def test_paper_table1_magnitude_regime(self):
+        # Table 1: Vs values are small integer multiples of eps ~ 2.2e-16.
+        vs = scalar_variability(1.0 + 4 * np.finfo(float).eps, 1.0)
+        assert 0 < abs(vs) < 1e-14
+
+
+class TestScalarVariabilityMany:
+    def test_matches_scalar_elementwise(self):
+        nd = np.array([0.5, 1.0, 2.0])
+        out = scalar_variability_many(nd, 1.0)
+        expected = [scalar_variability(v, 1.0) for v in nd]
+        np.testing.assert_allclose(out, expected)
+
+    def test_broadcasting_reference_array(self):
+        nd = np.array([1.0, 2.0])
+        d = np.array([2.0, 2.0])
+        np.testing.assert_allclose(scalar_variability_many(nd, d), [0.5, 0.0])
+
+    def test_zero_reference_handling(self):
+        out = scalar_variability_many(np.array([0.0, 1.0]), 0.0)
+        assert out[0] == 0.0
+        assert out[1] == -math.inf
+
+    def test_nan_handling(self):
+        out = scalar_variability_many(np.array([np.nan, 1.0]), 1.0)
+        assert math.isnan(out[0]) and out[1] == 0.0
+
+    def test_shape_preserved(self):
+        nd = np.ones((3, 4))
+        assert scalar_variability_many(nd, 1.0).shape == (3, 4)
+
+    def test_incompatible_shapes_raise(self):
+        with pytest.raises((ShapeError, ValueError)):
+            scalar_variability_many(np.ones(3), np.ones(4))

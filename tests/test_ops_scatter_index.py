@@ -1,0 +1,234 @@
+"""Tests for scatter, scatter_reduce, index_add, index_copy, index_put."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.errors import ConfigurationError, NondeterministicError, ShapeError
+from repro.ops import (
+    ContentionModel,
+    SegmentPlan,
+    index_add,
+    index_copy,
+    index_put,
+    scatter,
+    scatter_reduce,
+)
+
+ALWAYS_RACE = ContentionModel(q0=1.0, gamma=0.0, n0=1e-9, r1_boost=1.0)
+NEVER_RACE = ContentionModel(q0=0.0)
+
+
+class TestScatterReduceSemantics:
+    def test_sum_reduction_correct(self, ctx, rng):
+        idx = rng.integers(0, 5, 40)
+        src = rng.standard_normal(40)
+        out = scatter_reduce(np.zeros(5), 0, idx, src, "sum", ctx=ctx)
+        np.testing.assert_allclose(out, np.bincount(idx, weights=src, minlength=5), rtol=1e-10)
+
+    def test_include_self_adds_input(self, ctx):
+        out = scatter_reduce(np.full(2, 10.0), 0, np.array([0]), np.array([1.0]), "sum", ctx=ctx)
+        np.testing.assert_array_equal(out, [11.0, 10.0])
+
+    def test_exclude_self_keeps_untouched_rows(self, ctx):
+        out = scatter_reduce(
+            np.full(3, 7.0), 0, np.array([1]), np.array([2.0]), "sum",
+            include_self=False, ctx=ctx,
+        )
+        np.testing.assert_array_equal(out, [7.0, 2.0, 7.0])
+
+    def test_mean_with_include_self(self, ctx):
+        out = scatter_reduce(
+            np.array([4.0, 0.0]), 0, np.array([0, 0]), np.array([1.0, 1.0]), "mean", ctx=ctx
+        )
+        assert out[0] == pytest.approx((4 + 1 + 1) / 3)
+        assert out[1] == 0.0
+
+    def test_mean_without_include_self(self, ctx):
+        out = scatter_reduce(
+            np.array([4.0, 9.0]), 0, np.array([0, 0]), np.array([1.0, 3.0]), "mean",
+            include_self=False, ctx=ctx,
+        )
+        assert out[0] == pytest.approx(2.0)
+        assert out[1] == 9.0  # untouched
+
+    def test_amax_and_amin(self, ctx):
+        idx = np.array([0, 0, 1])
+        src = np.array([3.0, -1.0, 5.0])
+        out = scatter_reduce(np.zeros(3), 0, idx, src, "amax", include_self=False, ctx=ctx)
+        np.testing.assert_array_equal(out, [3.0, 5.0, 0.0])
+        out = scatter_reduce(np.zeros(3), 0, idx, src, "amin", include_self=False, ctx=ctx)
+        np.testing.assert_array_equal(out, [-1.0, 5.0, 0.0])
+
+    def test_prod(self, ctx):
+        out = scatter_reduce(
+            np.ones(2), 0, np.array([0, 0]), np.array([2.0, 3.0]), "prod", ctx=ctx
+        )
+        np.testing.assert_array_equal(out, [6.0, 1.0])
+
+    def test_2d_payload(self, ctx, rng):
+        idx = rng.integers(0, 3, 10)
+        src = rng.standard_normal((10, 4))
+        out = scatter_reduce(np.zeros((3, 4)), 0, idx, src, "sum", ctx=ctx)
+        assert out.shape == (3, 4)
+
+    def test_unknown_reduce_rejected(self, ctx):
+        with pytest.raises(ConfigurationError):
+            scatter_reduce(np.zeros(2), 0, np.array([0]), np.array([1.0]), "median", ctx=ctx)
+
+    def test_nonzero_dim_rejected(self, ctx):
+        with pytest.raises(ConfigurationError):
+            scatter_reduce(np.zeros((2, 2)), 1, np.array([0]), np.ones((1, 2)), "sum", ctx=ctx)
+
+    def test_shape_validation(self, ctx):
+        with pytest.raises(ShapeError):
+            scatter_reduce(np.zeros(2), 0, np.array([0, 1]), np.ones(3), "sum", ctx=ctx)
+
+
+class TestScatterReduceDeterminism:
+    def test_requesting_deterministic_raises(self, ctx):
+        # The paper's PyTorch runtime error, reproduced.
+        with pytest.raises(NondeterministicError):
+            scatter_reduce(np.zeros(2), 0, np.array([0]), np.ones(1), "sum", deterministic=True)
+
+    def test_global_flag_also_raises(self, ctx):
+        repro.use_deterministic_algorithms(True)
+        with pytest.raises(NondeterministicError):
+            scatter_reduce(np.zeros(2), 0, np.array([0]), np.ones(1), "sum", ctx=ctx)
+
+    def test_warn_only_runs_nondeterministically(self, ctx):
+        repro.use_deterministic_algorithms(True, warn_only=True)
+        with pytest.warns(repro.DeterminismWarning):
+            out = scatter_reduce(np.zeros(2), 0, np.array([0]), np.ones(1), "sum", ctx=ctx)
+        assert out[0] == 1.0
+
+    def test_nd_runs_vary_under_forced_racing(self, ctx, rng):
+        n, t = 2000, 100
+        idx = rng.integers(0, t, n)
+        src = rng.standard_normal(n).astype(np.float32)
+        inp = rng.standard_normal(t).astype(np.float32)
+        outs = {
+            scatter_reduce(inp, 0, idx, src, "sum", model=ALWAYS_RACE, ctx=ctx).tobytes()
+            for _ in range(5)
+        }
+        assert len(outs) > 1
+
+    def test_never_race_model_is_stable(self, ctx, rng):
+        idx = rng.integers(0, 50, 500)
+        src = rng.standard_normal(500).astype(np.float32)
+        outs = {
+            scatter_reduce(np.zeros(50, np.float32), 0, idx, src, "sum",
+                           model=NEVER_RACE, ctx=ctx).tobytes()
+            for _ in range(5)
+        }
+        assert len(outs) == 1
+
+    def test_plan_reuse_matches_fresh_plan(self, ctx, rng):
+        idx = rng.integers(0, 10, 100)
+        src = rng.standard_normal(100).astype(np.float32)
+        plan = SegmentPlan(idx, 10)
+        a = scatter_reduce(np.zeros(10, np.float32), 0, idx, src, "sum",
+                           model=NEVER_RACE, plan=plan, ctx=ctx)
+        b = scatter_reduce(np.zeros(10, np.float32), 0, idx, src, "sum",
+                           model=NEVER_RACE, ctx=ctx)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestScatterCopy:
+    def test_last_writer_wins_deterministically(self, ctx):
+        out = scatter(np.zeros(2), 0, np.array([0, 0]), np.array([1.0, 2.0]),
+                      deterministic=True)
+        np.testing.assert_array_equal(out, [2.0, 0.0])
+
+    def test_unique_indices_trivially_deterministic(self, ctx, rng):
+        idx = rng.permutation(10)
+        src = rng.standard_normal(10)
+        outs = {scatter(np.zeros(10), 0, idx, src, model=ALWAYS_RACE, ctx=ctx).tobytes()
+                for _ in range(5)}
+        assert len(outs) == 1
+
+    def test_duplicate_winner_varies_when_racing(self, ctx):
+        idx = np.zeros(4, dtype=np.int64)
+        src = np.array([1.0, 2.0, 3.0, 4.0])
+        winners = {
+            float(scatter(np.zeros(1), 0, idx, src, model=ALWAYS_RACE, ctx=ctx)[0])
+            for _ in range(40)
+        }
+        assert len(winners) > 1
+
+    def test_input_not_mutated(self, ctx):
+        inp = np.zeros(3)
+        scatter(inp, 0, np.array([1]), np.array([5.0]), ctx=ctx)
+        np.testing.assert_array_equal(inp, 0.0)
+
+
+class TestIndexAdd:
+    def test_semantics_match_np_add_at(self, ctx, rng):
+        idx = rng.integers(0, 7, 30)
+        src = rng.standard_normal((30, 4))
+        inp = rng.standard_normal((7, 4))
+        out = index_add(inp, 0, idx, src, deterministic=True)
+        expected = inp.copy()
+        np.add.at(expected, idx, src)
+        np.testing.assert_allclose(out, expected, rtol=1e-12)
+
+    def test_alpha_scaling(self, ctx):
+        out = index_add(np.zeros(2), 0, np.array([0]), np.array([3.0]), alpha=0.5,
+                        deterministic=True)
+        np.testing.assert_array_equal(out, [1.5, 0.0])
+
+    def test_deterministic_is_bitwise_stable(self, ctx, rng):
+        idx = rng.integers(0, 20, 500)
+        src = rng.standard_normal((500, 8)).astype(np.float32)
+        inp = rng.standard_normal((20, 8)).astype(np.float32)
+        outs = {index_add(inp, 0, idx, src, deterministic=True).tobytes() for _ in range(5)}
+        assert len(outs) == 1
+
+    def test_nd_varies_under_forced_racing(self, ctx, rng):
+        idx = rng.integers(0, 20, 500)
+        src = rng.standard_normal((500, 8)).astype(np.float32)
+        inp = rng.standard_normal((20, 8)).astype(np.float32)
+        outs = {index_add(inp, 0, idx, src, model=ALWAYS_RACE, ctx=ctx).tobytes()
+                for _ in range(6)}
+        assert len(outs) > 1
+
+    def test_global_deterministic_flag_respected(self, ctx, rng):
+        repro.use_deterministic_algorithms(True)
+        idx = rng.integers(0, 20, 500)
+        src = rng.standard_normal((500, 4)).astype(np.float32)
+        inp = np.zeros((20, 4), np.float32)
+        outs = {index_add(inp, 0, idx, src, ctx=ctx).tobytes() for _ in range(4)}
+        assert len(outs) == 1
+
+    def test_float64_payload_supported(self, ctx, rng):
+        out = index_add(np.zeros(3), 0, np.array([0, 0]), np.array([0.1, 0.2]),
+                        deterministic=True)
+        assert out.dtype == np.float64
+
+
+class TestIndexCopyPut:
+    def test_index_copy_basic(self, ctx):
+        out = index_copy(np.zeros((3, 2)), 0, np.array([2, 0]),
+                         np.array([[1.0, 1.0], [2.0, 2.0]]), deterministic=True)
+        np.testing.assert_array_equal(out, [[2, 2], [0, 0], [1, 1]])
+
+    def test_index_copy_duplicate_last_wins(self, ctx):
+        out = index_copy(np.zeros(2), 0, np.array([0, 0]), np.array([5.0, 9.0]),
+                         deterministic=True)
+        assert out[0] == 9.0
+
+    def test_index_put_accumulate_matches_index_add(self, ctx, rng):
+        idx = rng.integers(0, 5, 20)
+        vals = rng.standard_normal(20)
+        inp = rng.standard_normal(5)
+        a = index_put(inp, idx, vals, accumulate=True, deterministic=True)
+        b = index_add(inp, 0, idx, vals, deterministic=True)
+        np.testing.assert_array_equal(a, b)
+
+    def test_index_put_copy_matches_index_copy(self, ctx, rng):
+        idx = rng.integers(0, 5, 20)
+        vals = rng.standard_normal(20)
+        inp = rng.standard_normal(5)
+        a = index_put(inp, idx, vals, accumulate=False, deterministic=True)
+        b = index_copy(inp, 0, idx, vals, deterministic=True)
+        np.testing.assert_array_equal(a, b)
