@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Record pytest-benchmark results into the repo's perf-trajectory file.
+
+Runs the regeneration benchmarks under pytest-benchmark and merges their
+per-test means into ``BENCH_0001.json`` at the repository root, under a
+named label.  The file accumulates one entry per labelled measurement, so
+successive PRs can record before/after numbers side by side::
+
+    # record the current tree's numbers (defaults shown)
+    python benchmarks/save_baseline.py --label post_change
+
+    # record a fresh baseline for a different test selection
+    python benchmarks/save_baseline.py --label seed_baseline \
+        --tests benchmarks/test_fig1_spa_pdf.py benchmarks/test_fig2_ao_pdf.py
+
+Speedup ratios against the ``seed_baseline`` label (when present) are
+recomputed on every invocation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUTPUT = REPO_ROOT / "BENCH_0001.json"
+DEFAULT_TESTS = [
+    "benchmarks/test_fig1_spa_pdf.py",
+    "benchmarks/test_fig2_ao_pdf.py",
+    "benchmarks/test_table5_op_sweep.py",
+]
+BASELINE_LABEL = "seed_baseline"
+
+
+def run_benchmarks(tests: list[str]) -> dict[str, float]:
+    """Run pytest-benchmark on ``tests``; return {test_name: mean_seconds}."""
+    with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+        tmp_path = tmp.name
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    cmd = [
+        sys.executable, "-m", "pytest", "-q",
+        f"--benchmark-json={tmp_path}", *tests,
+    ]
+    try:
+        subprocess.run(cmd, cwd=REPO_ROOT, env=env, check=True)
+        with open(tmp_path) as fh:
+            report = json.load(fh)
+    finally:
+        os.unlink(tmp_path)
+    return {b["name"]: b["stats"]["mean"] for b in report["benchmarks"]}
+
+
+def merge(output: Path, label: str, means: dict[str, float]) -> dict:
+    doc = {}
+    if output.exists():
+        with open(output) as fh:
+            doc = json.load(fh)
+    doc.setdefault("benchmark_id", output.stem)
+    doc.setdefault("unit", "seconds (mean)")
+    runs = doc.setdefault("runs", {})
+    runs[label] = {
+        "recorded_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "python": platform.python_version(),
+        "means": means,
+    }
+    base = runs.get(BASELINE_LABEL, {}).get("means", {})
+    if base:
+        doc["speedup_vs_seed_baseline"] = {
+            lbl: {
+                name: round(base[name] / m, 3)
+                for name, m in entry["means"].items()
+                if name in base and m > 0
+            }
+            for lbl, entry in runs.items()
+            if lbl != BASELINE_LABEL
+        }
+    return doc
+
+
+def main() -> None:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--label", default="post_change",
+                    help="name to record this measurement under")
+    ap.add_argument("--tests", nargs="+", default=DEFAULT_TESTS,
+                    help="benchmark files/tests to run")
+    ap.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
+                    help="perf-trajectory JSON to update")
+    args = ap.parse_args()
+
+    means = run_benchmarks(args.tests)
+    doc = merge(args.output, args.label, means)
+    with open(args.output, "w") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"recorded {len(means)} benchmark means under {args.label!r} in {args.output}")
+
+
+if __name__ == "__main__":
+    main()

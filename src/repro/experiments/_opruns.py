@@ -3,8 +3,11 @@
 Implements the paper's §IV protocol: when a deterministic kernel exists,
 its output is the reference ``A``; otherwise the first non-deterministic
 run is (``A = B_0``).  Each configuration reuses a single
-:class:`~repro.ops.segmented.SegmentPlan` across runs, so the per-run cost
-is the fold itself.
+:class:`~repro.ops.segmented.SegmentPlan` across runs and executes the run
+axis through the batched engine (:func:`~repro.ops.scatter.
+scatter_reduce_runs` / :func:`~repro.ops.index_ops.index_add_runs`), which
+folds all runs' segments in lockstep — bit-identical to looping the scalar
+kernels, but without re-paying the fold-matrix setup per run.
 """
 
 from __future__ import annotations
@@ -14,7 +17,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..metrics.array import count_variability, ermv
-from ..ops import index_add, scatter_reduce
+from ..ops import index_add, index_add_runs, scatter_reduce_runs
 from ..ops.segmented import SegmentPlan
 from ..runtime import RunContext
 
@@ -78,10 +81,7 @@ def scatter_reduce_variability(
     # real workloads reduce onto live accumulators.
     inp = rng.standard_normal(n_targets).astype(dtype)
     plan = SegmentPlan(idx, n_targets)
-    outputs = [
-        scatter_reduce(inp, 0, idx, src, reduce, plan=plan, ctx=ctx, deterministic=False)
-        for _ in range(n_runs + 1)
-    ]
+    outputs = scatter_reduce_runs(inp, 0, idx, src, reduce, n_runs + 1, plan=plan, ctx=ctx)
     return _summarise(outputs[0], outputs[1:])
 
 
@@ -106,8 +106,5 @@ def index_add_variability(
     inp = rng.standard_normal((n_targets, n)).astype(dtype)
     plan = SegmentPlan(idx, n_targets)
     reference = index_add(inp, 0, idx, src, plan=plan, deterministic=True)
-    outputs = [
-        index_add(inp, 0, idx, src, plan=plan, ctx=ctx, deterministic=False)
-        for _ in range(n_runs)
-    ]
+    outputs = index_add_runs(inp, 0, idx, src, n_runs, plan=plan, ctx=ctx)
     return _summarise(reference, outputs)

@@ -6,17 +6,26 @@ deterministic SPTR result.  Because the per-block stage of SPA is
 deterministic, its partials are computed **once** per array and only the
 combine order is re-sampled per run — the honest shortcut that makes the
 scaled experiments fast without changing a single result bit.
+
+Both helpers run on the batched run-axis engine: all ``R`` orders of an
+array are sampled as one matrix (:class:`~repro.gpusim.scheduler.
+WaveSchedulerBatch`) and folded with one batched accumulate
+(:func:`~repro.gpusim.atomics.batched_atomic_fold`), processed in
+run chunks so memory stays bounded at ``n = 10**6``.  Per-run results are
+bit-identical to looping ``WaveScheduler`` + ``atomic_fold`` (or the
+reduction classes) — ``tests/test_experiment_helpers.py`` and
+``tests/test_batched_engine.py`` pin this.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..fp.summation import block_partials, tree_fold
-from ..gpusim.atomics import atomic_fold
+from ..fp.summation import block_partials, iter_run_chunks, tree_fold
+from ..gpusim.atomics import batched_atomic_fold
 from ..gpusim.device import get_device
 from ..gpusim.kernel import LaunchConfig
-from ..gpusim.scheduler import WaveScheduler
+from ..gpusim.scheduler import WaveSchedulerBatch
 from ..metrics.scalar import scalar_variability_many
 from ..runtime import RunContext
 
@@ -34,6 +43,14 @@ def sample_array(rng: np.random.Generator, n: int, distribution: str) -> np.ndar
     raise ValueError(f"unknown distribution {distribution!r}")
 
 
+def _spa_launch(dev, n: int, threads_per_block: int, n_blocks: int | None) -> LaunchConfig:
+    nb = n_blocks or (n + threads_per_block - 1) // threads_per_block
+    return LaunchConfig(
+        device=dev, n_blocks=nb, threads_per_block=threads_per_block,
+        shared_mem_bytes=min(threads_per_block * 8, dev.shared_mem_per_block),
+    )
+
+
 def spa_vs_samples(
     x: np.ndarray,
     n_runs: int,
@@ -46,20 +63,19 @@ def spa_vs_samples(
     """``Vs`` of ``n_runs`` SPA sums of ``x`` against the SPTR result.
 
     Bit-identical to calling ``SinglePassAtomic.sum`` in a loop (the block
-    partials are deterministic and hoisted out of the loop).
+    partials are deterministic and hoisted out of the loop; the run axis is
+    batched).
     """
     dev = get_device(device)
-    n = x.size
-    nb = n_blocks or (n + threads_per_block - 1) // threads_per_block
-    launch = LaunchConfig(device=dev, n_blocks=nb, threads_per_block=threads_per_block,
-                          shared_mem_bytes=min(threads_per_block * 8, dev.shared_mem_per_block))
+    launch = _spa_launch(dev, x.size, threads_per_block, n_blocks)
+    nb = launch.n_blocks
     partials = block_partials(x, nb)
     s_d = tree_fold(partials)  # SPTR's combine
+    batch = WaveSchedulerBatch(launch, ctx)
     sums = np.empty(n_runs, dtype=np.float64)
-    for i in range(n_runs):
-        sched = WaveScheduler(launch, ctx.scheduler())
-        order = sched.block_completion_order(contention=0.0)
-        sums[i] = atomic_fold(partials, order)
+    for lo, hi in iter_run_chunks(n_runs, nb):
+        orders = batch.block_completion_orders(hi - lo, contention=0.0)
+        sums[lo:hi] = batched_atomic_fold(partials, orders)
     return scalar_variability_many(sums, s_d)
 
 
@@ -74,13 +90,24 @@ def ao_vs_samples(
     """``Vs`` of ``n_runs`` AO sums of ``x`` against the SPTR result."""
     dev = get_device(device)
     n = x.size
-    nb = (n + threads_per_block - 1) // threads_per_block
-    launch = LaunchConfig(device=dev, n_blocks=nb, threads_per_block=threads_per_block,
-                          shared_mem_bytes=min(threads_per_block * 8, dev.shared_mem_per_block))
-    s_d = tree_fold(block_partials(x, nb))
+    launch = _spa_launch(dev, n, threads_per_block, None)
+    s_d = tree_fold(block_partials(x, launch.n_blocks))
+    batch = WaveSchedulerBatch(launch, ctx)
     sums = np.empty(n_runs, dtype=np.float64)
-    for i in range(n_runs):
-        sched = WaveScheduler(launch, ctx.scheduler())
-        order = sched.thread_retirement_order(n, contention=1.0)
-        sums[i] = atomic_fold(x, order)
+    warp = dev.warp_size
+    if threads_per_block % warp == 0 and n % warp == 0:
+        # Warp-granular fast path: a retirement order is warp slices in
+        # sorted-key sequence with lanes in id order, so gathering x by
+        # whole warp rows reproduces x[order] bit-for-bit without the
+        # element-level permutation.
+        xw = np.ascontiguousarray(x).reshape(-1, warp)
+        for lo, hi in iter_run_chunks(n_runs, n):
+            worders = batch.thread_retirement_warp_orders(hi - lo, n, contention=1.0)
+            for r in range(hi - lo):
+                folded = np.add.accumulate(xw[worders[r]].ravel())
+                sums[lo + r] = folded[-1]
+    else:
+        for lo, hi in iter_run_chunks(n_runs, n):
+            orders = batch.thread_retirement_orders(hi - lo, n, contention=1.0)
+            sums[lo:hi] = batched_atomic_fold(x, orders)
     return scalar_variability_many(sums, s_d)

@@ -47,6 +47,9 @@ class MaxVsPowerLaw(Experiment):
                 m = 0.0
                 for _ in range(params["n_arrays"]):
                     x = sample_array(data_rng, n, dist)
+                    # spa_vs_samples samples all n_runs orders through the
+                    # batched run-axis engine (chunked so n = 1e6 at paper
+                    # scale stays within the memory budget).
                     vs = spa_vs_samples(
                         x, params["n_runs"], ctx,
                         device=params["device"],

@@ -16,9 +16,7 @@ import numpy as np
 
 from ..metrics.array import ermv
 from ..ops import (
-    conv_transpose1d,
-    conv_transpose2d,
-    conv_transpose3d,
+    conv_transpose_runs,
     cumsum,
     index_copy,
     index_put,
@@ -63,14 +61,17 @@ class Table5OpSweep(Experiment):
         return grid1, grid2, grid3
 
     def _run_conv(self, nd: int, grid, n_runs: int, ctx: RunContext) -> list[float]:
-        fn = {1: conv_transpose1d, 2: conv_transpose2d, 3: conv_transpose3d}[nd]
         per_config: list[float] = []
         for L, k, s, p in grid:
             rng = ctx.data(stream=(nd * 31 + L * 7 + k * 5 + s * 3 + p) % 2**31)
             x = rng.standard_normal((2, 6) + (L,) * nd).astype(np.float32)
             w = rng.standard_normal((6, 4) + (k,) * nd).astype(np.float32)
-            ref = fn(x, w, stride=s, padding=p, deterministic=True)
-            outs = [fn(x, w, stride=s, padding=p, deterministic=False, ctx=ctx) for _ in range(n_runs)]
+            # Batched engine: one tap-plan build per configuration, reused
+            # by the reference and all runs (bit-identical to the scalar
+            # per-run loop).
+            ref, outs = conv_transpose_runs(
+                x, w, nd=nd, n_runs=n_runs, stride=s, padding=p, ctx=ctx
+            )
             per_config.append(_mean_ermv(ref, outs))
         return per_config
 

@@ -16,10 +16,14 @@ from .summation import (
     serial_sum,
     reverse_sum,
     permuted_sum,
+    permuted_sums,
     pairwise_sum,
     blocked_pairwise_sum,
     block_partials,
     tree_fold,
+    batched_tree_fold,
+    iter_run_chunks,
+    DEFAULT_RUN_CHUNK_ELEMENTS,
 )
 from .compensated import (
     two_sum,
@@ -44,10 +48,14 @@ __all__ = [
     "serial_sum",
     "reverse_sum",
     "permuted_sum",
+    "permuted_sums",
     "pairwise_sum",
     "blocked_pairwise_sum",
     "block_partials",
     "tree_fold",
+    "batched_tree_fold",
+    "iter_run_chunks",
+    "DEFAULT_RUN_CHUNK_ELEMENTS",
     "two_sum",
     "fast_two_sum",
     "kahan_sum",

@@ -13,9 +13,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..metrics.scalar import scalar_variability
+from ..metrics.scalar import scalar_variability, scalar_variability_many
 from ..runtime import RunContext, get_context
-from .summation import permuted_sum, serial_sum
+from .summation import iter_run_chunks, permuted_sum, permuted_sums, serial_sum
 
 __all__ = ["PermutationEffect", "permutation_effects", "permutation_spread"]
 
@@ -109,12 +109,21 @@ def permutation_spread(
 ) -> np.ndarray:
     """Return the ``Vs`` values of ``n_permutations`` random-order folds of
     ``x`` against its serial sum — the raw material for distribution and
-    max-|Vs| analyses."""
+    max-|Vs| analyses.
+
+    Runs on the batched engine: permutations are still drawn one per run
+    (one scheduler stream each — the RNG contract), but the folds are
+    evaluated through :func:`~repro.fp.summation.permuted_sums` in run
+    chunks, bit-identical to the scalar :func:`permuted_sum` loop.
+    """
     ctx = ctx or get_context()
     arr = np.asarray(x, dtype=np.float64)
+    n = arr.size
     s_d = serial_sum(arr)
-    out = np.empty(n_permutations, dtype=np.float64)
-    for i in range(n_permutations):
-        perm = ctx.scheduler().permutation(arr.size)
-        out[i] = scalar_variability(permuted_sum(arr, perm), s_d)
-    return out
+    sums = np.empty(n_permutations, dtype=np.float64)
+    for lo, hi in iter_run_chunks(n_permutations, n):
+        perms = np.empty((hi - lo, n), dtype=np.int64)
+        for r in range(hi - lo):
+            perms[r] = ctx.scheduler().permutation(n)
+        sums[lo:hi] = permuted_sums(arr, perms)
+    return scalar_variability_many(sums, s_d)

@@ -27,6 +27,21 @@ NumPy version we use ``np.add.accumulate`` (cumulative sum is inherently
 sequential) and take the last element.  For the tree reductions we reshape
 to powers of two and halve, which vectorises the per-level adds while fixing
 the association order exactly.
+
+The batched run-axis engine
+---------------------------
+The variability protocol (paper §III-C) repeats a non-deterministic fold
+``R`` times per array.  :func:`permuted_sums` and :func:`batched_tree_fold`
+fold a whole ``(R, n)`` run matrix at once, **bit-identical** per row to the
+scalar :func:`permuted_sum` / :func:`tree_fold` calls: every row fold
+performs the exact same IEEE-754 operation sequence, only batched (fancy
+gathers are chunked, row accumulates run on contiguous 1-D rows).  The
+``chunk_runs`` knob bounds the transient ``(chunk, n)`` matrices so the run
+axis never blows the memory budget at ``n = 10**6``
+(:data:`DEFAULT_RUN_CHUNK_ELEMENTS` elements per chunk by default; see
+:func:`iter_run_chunks`).  The scheduler side of the engine — sampling all
+``R`` execution orders as one matrix under the same bit-exactness contract
+— lives in :class:`repro.gpusim.scheduler.WaveSchedulerBatch`.
 """
 
 from __future__ import annotations
@@ -39,11 +54,41 @@ __all__ = [
     "serial_sum",
     "reverse_sum",
     "permuted_sum",
+    "permuted_sums",
     "pairwise_sum",
     "blocked_pairwise_sum",
     "block_partials",
     "tree_fold",
+    "batched_tree_fold",
+    "iter_run_chunks",
+    "DEFAULT_RUN_CHUNK_ELEMENTS",
 ]
+
+#: Default memory budget of the batched engine: max elements materialised
+#: per run chunk (4M float64 elements = 32 MiB per transient matrix).
+DEFAULT_RUN_CHUNK_ELEMENTS = 4 << 20
+
+
+def iter_run_chunks(n_runs: int, elems_per_run: int, *, chunk_runs: int | None = None):
+    """Yield ``(lo, hi)`` run-index slices bounding chunk memory.
+
+    Parameters
+    ----------
+    n_runs:
+        Total runs to cover.
+    elems_per_run:
+        Elements each run materialises in the transient chunk matrix.
+    chunk_runs:
+        Explicit chunk size override; default fits
+        :data:`DEFAULT_RUN_CHUNK_ELEMENTS` elements per chunk (always at
+        least one run per chunk).
+    """
+    if chunk_runs is None:
+        chunk_runs = max(1, DEFAULT_RUN_CHUNK_ELEMENTS // max(elems_per_run, 1))
+    if chunk_runs < 1:
+        raise ConfigurationError(f"chunk_runs must be >= 1, got {chunk_runs}")
+    for lo in range(0, n_runs, chunk_runs):
+        yield lo, min(lo + chunk_runs, n_runs)
 
 
 def _as_1d(x) -> np.ndarray:
@@ -101,6 +146,49 @@ def permuted_sum(x, permutation) -> float:
     return float(np.add.accumulate(arr[perm])[-1])
 
 
+def permuted_sums(x, perms, *, chunk_runs: int | None = None) -> np.ndarray:
+    """Left folds of ``x[perms[r]]`` for every row ``r`` — the batched
+    :func:`permuted_sum`.
+
+    Parameters
+    ----------
+    x:
+        1-D float array (the fold runs in its dtype, as in
+        :func:`permuted_sum`).
+    perms:
+        ``(R, n)`` integer matrix; each row is a permutation of ``x``'s
+        indices.  Validated once for the whole batch.
+    chunk_runs:
+        Memory knob: rows gathered per chunk (see :func:`iter_run_chunks`).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(R,)`` float64 fold results, bit-identical per row to
+        ``permuted_sum(x, perms[r])``.
+    """
+    arr = _as_1d(x)
+    pm = np.asarray(perms)
+    if pm.ndim != 2:
+        raise ShapeError(f"perms must be 2-D (runs, n), got shape {pm.shape}")
+    if pm.shape[1] != arr.size:
+        raise ShapeError(f"perms row length {pm.shape[1]} != data length {arr.size}")
+    n_runs = pm.shape[0]
+    out = np.empty(n_runs, dtype=np.float64)
+    if arr.size == 0:
+        out.fill(0.0)
+        return out
+    if pm.size and (pm.min() < 0 or pm.max() >= arr.size):
+        raise ConfigurationError("perms contain out-of-range indices")
+    for lo, hi in iter_run_chunks(n_runs, arr.size, chunk_runs=chunk_runs):
+        gathered = arr[pm[lo:hi]]  # (chunk, n), contiguous rows
+        for r in range(hi - lo):
+            # A strictly sequential scan per row: identical association
+            # order (and bits) to the scalar fold.
+            out[lo + r] = np.add.accumulate(gathered[r])[-1]
+    return out
+
+
 def tree_fold(x) -> float:
     """Balanced binary-tree reduction of a 1-D array.
 
@@ -125,6 +213,51 @@ def tree_fold(x) -> float:
     return float(buf[0])
 
 
+def batched_tree_fold(xs, *, chunk_runs: int | None = None) -> np.ndarray:
+    """Balanced binary-tree reduction of every row of an ``(R, n)`` matrix.
+
+    The batched :func:`tree_fold`: rows are zero-padded to the next power
+    of two and halved in lockstep, so each row performs the exact
+    per-level addition sequence of the scalar tree — bit-identical results,
+    one vectorised pass per tree level instead of ``R``.
+
+    Parameters
+    ----------
+    xs:
+        ``(R, n)`` float matrix, one run per row.
+    chunk_runs:
+        Memory knob: rows folded per chunk (see :func:`iter_run_chunks`).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(R,)`` float64 tree-fold results.
+    """
+    mat = np.asarray(xs)
+    if mat.ndim != 2:
+        raise ShapeError(f"expected a 2-D (runs, n) matrix, got shape {mat.shape}")
+    if not np.issubdtype(mat.dtype, np.floating):
+        mat = mat.astype(np.float64)
+    n_runs, n = mat.shape
+    out = np.empty(n_runs, dtype=np.float64)
+    if n == 0:
+        out.fill(0.0)
+        return out
+    if n == 1:
+        out[:] = mat[:, 0]
+        return out
+    p = 1 << (int(n - 1).bit_length())
+    for lo, hi in iter_run_chunks(n_runs, p, chunk_runs=chunk_runs):
+        buf = np.zeros((hi - lo, p), dtype=mat.dtype)
+        buf[:, :n] = mat[lo:hi]
+        half = p // 2
+        while half >= 1:
+            buf[:, :half] = buf[:, :half] + buf[:, half : 2 * half]
+            half //= 2
+        out[lo:hi] = buf[:, 0]
+    return out
+
+
 def pairwise_sum(x, block: int = 1) -> float:
     """Tree reduction with an optional serial base case of ``block`` leaves.
 
@@ -141,14 +274,12 @@ def pairwise_sum(x, block: int = 1) -> float:
     if n == 0:
         return 0.0
     n_chunks = (n + block - 1) // block
-    pad = n_chunks * block - n
     buf = np.zeros(n_chunks * block, dtype=arr.dtype)
     buf[:n] = arr
     # Serial fold within each chunk (vectorised across chunks via cumsum on
     # the trailing axis), then a tree over chunk partials.
     chunks = buf.reshape(n_chunks, block)
     partials = np.add.accumulate(chunks, axis=1)[:, -1]
-    del pad
     return tree_fold(partials)
 
 
@@ -187,12 +318,16 @@ def block_partials(x, n_blocks: int, block_size: int | None = None) -> np.ndarra
             f"n_blocks*block_size = {n_blocks * block_size} cannot cover {n} elements"
         )
     p = 1 << (int(max(block_size - 1, 0)).bit_length() or 1)
-    buf = np.zeros((n_blocks, p), dtype=arr.dtype)
     # Fill via a contiguous staging buffer: slicing buf[:, :block_size]
     # and reshaping would copy (non-contiguous view), losing the writes.
     staged = np.zeros(n_blocks * block_size, dtype=arr.dtype)
     staged[:n] = arr
-    buf[:, :block_size] = staged.reshape(n_blocks, block_size)
+    if p == block_size:
+        # Power-of-two tiles: the staging buffer *is* the tree buffer.
+        buf = staged.reshape(n_blocks, p)
+    else:
+        buf = np.zeros((n_blocks, p), dtype=arr.dtype)
+        buf[:, :block_size] = staged.reshape(n_blocks, block_size)
     # Tree reduction across the tile axis, all blocks in lockstep — this is
     # exactly the __syncthreads-separated halving loop, vectorised.
     half = p // 2

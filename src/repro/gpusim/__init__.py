@@ -25,8 +25,8 @@ exactly that layer:
 from .device import DeviceSpec, get_device, list_devices, register_device
 from .occupancy import resident_blocks, waves_for
 from .kernel import LaunchConfig
-from .scheduler import WaveScheduler, SchedulerParams
-from .atomics import AtomicAccumulator, RetirementCounter, atomic_fold
+from .scheduler import WaveScheduler, WaveSchedulerBatch, SchedulerParams
+from .atomics import AtomicAccumulator, RetirementCounter, atomic_fold, batched_atomic_fold
 from .stream import Stream, Event
 from .costmodel import CostModel, TimingSample
 from .memory import GlobalMemory, SharedMemory, RaceRecord
@@ -40,10 +40,12 @@ __all__ = [
     "waves_for",
     "LaunchConfig",
     "WaveScheduler",
+    "WaveSchedulerBatch",
     "SchedulerParams",
     "AtomicAccumulator",
     "RetirementCounter",
     "atomic_fold",
+    "batched_atomic_fold",
     "Stream",
     "Event",
     "CostModel",

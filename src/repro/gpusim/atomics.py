@@ -19,9 +19,9 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import SchedulerError
-from ..fp.summation import serial_sum
+from ..fp.summation import iter_run_chunks, serial_sum
 
-__all__ = ["AtomicAccumulator", "RetirementCounter", "atomic_fold"]
+__all__ = ["AtomicAccumulator", "RetirementCounter", "atomic_fold", "batched_atomic_fold"]
 
 
 def atomic_fold(values: np.ndarray, order: np.ndarray | None = None) -> float:
@@ -39,6 +39,54 @@ def atomic_fold(values: np.ndarray, order: np.ndarray | None = None) -> float:
             f"order shape {order.shape} does not match values shape {arr.shape}"
         )
     return float(np.add.accumulate(arr[order])[-1])
+
+
+def batched_atomic_fold(
+    values: np.ndarray, orders: np.ndarray, *, chunk_runs: int | None = None
+) -> np.ndarray:
+    """Sequential IEEE folds of ``values`` in every row of ``orders``.
+
+    The batched :func:`atomic_fold`: row ``r`` of the result is
+    bit-identical to ``atomic_fold(values, orders[r])``.  This is the fold
+    half of the batched run-axis engine — the order half is
+    :class:`repro.gpusim.scheduler.WaveSchedulerBatch`.
+
+    Parameters
+    ----------
+    values:
+        ``(n,)`` summands (the fold runs in their dtype).
+    orders:
+        ``(R, n)`` retirement orders, one simulated run per row.
+    chunk_runs:
+        Memory knob bounding the gathered ``(chunk, n)`` matrices.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(R,)`` float64 fold results.
+    """
+    arr = np.asarray(values)
+    om = np.asarray(orders)
+    if om.ndim != 2:
+        raise SchedulerError(f"orders must be 2-D (runs, n), got shape {om.shape}")
+    if om.shape[1:] != arr.shape:
+        raise SchedulerError(
+            f"orders row shape {om.shape[1:]} does not match values shape {arr.shape}"
+        )
+    n_runs = om.shape[0]
+    out = np.empty(n_runs, dtype=np.float64)
+    if arr.size == 0:
+        out.fill(0.0)
+        return out
+    # The accumulate must run in the values' own dtype (bit-exactness with
+    # the scalar fold); the buffer only elides R cumsum allocations.
+    buf = np.empty(arr.size, dtype=arr.dtype)
+    for lo, hi in iter_run_chunks(n_runs, arr.size, chunk_runs=chunk_runs):
+        gathered = arr[om[lo:hi]]
+        for r in range(hi - lo):
+            np.add.accumulate(gathered[r], out=buf)
+            out[lo + r] = buf[-1]
+    return out
 
 
 class AtomicAccumulator:

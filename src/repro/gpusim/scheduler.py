@@ -6,10 +6,10 @@ A grid of ``Nb`` blocks executes in **waves** of at most ``resident_blocks``
 (occupancy).  The runtime assigns blocks to execution slots round-robin
 starting from an arbitrary **rotation** offset (real schedulers start from
 whichever SM frees first; the offset is the per-run "global scheduling
-mode").  Within a wave, block completion times carry log-normal jitter.
-Threads inside a block issue warp by warp; lanes within a warp retire in
-lane order (hardware serializes same-address atomics from one warp in a
-fixed order).
+mode").  Within a wave, block completion times carry bounded jitter with an
+exponential straggler tail.  Threads inside a block issue warp by warp;
+lanes within a warp retire in lane order (hardware serializes same-address
+atomics from one warp in a fixed order).
 
 **Contention serialization** is the single mechanism that explains both of
 the paper's distribution shapes (Figs 1–2) and the scatter/`index_add`
@@ -25,18 +25,61 @@ order modulo the rotation mode) scales the jitter accordingly:
 * AO issues ``n`` atomics back-to-back — maximal contention → the order is
   almost a pure function of the discrete rotation mode → ``Vs`` follows a
   spiky mixture, not a normal (Fig 2).
+
+The RNG draw-order contract (batched run-axis engine)
+-----------------------------------------------------
+Every simulated run owns one scheduler stream (one
+:meth:`repro.runtime.RunContext.scheduler` call).  Within a run the stream
+is consumed in a fixed order:
+
+1. **rotation** — one ``integers(num_gpcs)`` draw (skipped when
+   ``params.rotation`` is false);
+2. **block vector** — one ``random(n_blocks, dtype=float32)`` draw iff the
+   effective block jitter is positive *or* stragglers are active.  This
+   single uniform vector supplies both the completion jitter (scaled so its
+   standard deviation equals ``sigma``) and the straggler tail: blocks whose
+   draw lands in the top ``straggler_rate / n_blocks`` quantile stall, with
+   an Exp(1) delay factor recovered from the same draw by inverse-CDF;
+3. **warp vector** (thread orders only) — one
+   ``random((n_blocks, warps_per_block), dtype=float32)`` draw iff the
+   effective warp jitter is positive.
+
+Everything downstream of the draws is elementwise float32 arithmetic plus
+:func:`numpy.argsort` with the default (introsort) kind — both of which
+produce identical bits whether evaluated on one run's 1-D vector or on the
+rows of an ``(R, n)`` matrix.  That invariant is what makes the batched
+:class:`WaveSchedulerBatch` **bit-identical** to constructing a fresh
+:class:`WaveScheduler` per run: the batch loops only to draw (one small RNG
+call sequence per run, in run order) and then folds the transform, sort and
+expansion over the whole run axis at once.  Thread retirement orders are
+never sorted at element granularity: lanes retire in lane order within a
+warp, so both paths sort the ``n_blocks * warps_per_block`` warp keys and
+expand each warp to its (precomputed) lane-ordered element ids.
+
+``tests/test_batched_engine.py`` pins the scalar↔batched equivalence
+bit-for-bit across devices, contentions and odd shapes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
 from ..errors import SchedulerError
+from ..runtime import RunContext
 from .kernel import LaunchConfig
 
-__all__ = ["SchedulerParams", "WaveScheduler"]
+__all__ = ["SchedulerParams", "WaveScheduler", "WaveSchedulerBatch"]
+
+#: Scale factor mapping a uniform [0, 1) draw to a jitter with standard
+#: deviation ``sigma``: Var(U[0, s]) = s^2 / 12, so s = sqrt(12) * sigma.
+_JITTER_SPAN = 3.4641016151377544
+
+#: Marks grid slots that carry no element (lanes beyond threads_per_block).
+_SENTINEL32 = np.iinfo(np.int32).max
+_SENTINEL64 = np.iinfo(np.int64).max
 
 
 @dataclass(frozen=True)
@@ -46,9 +89,10 @@ class SchedulerParams:
     Attributes
     ----------
     block_jitter:
-        Log-normal sigma of block completion time (uncontended).
+        Standard deviation of the block completion-time jitter
+        (uncontended), in wave units.
     warp_jitter:
-        Log-normal sigma of warp issue time within a block.
+        Standard deviation of the warp issue-time jitter within a block.
     rotation:
         Sample a random round-robin starting offset per run.  This is the
         discrete "scheduling mode" that makes fully-serialized (AO) runs
@@ -56,6 +100,11 @@ class SchedulerParams:
     residual_jitter:
         Fraction of jitter that survives even at contention = 1 (queues are
         not perfectly FIFO).
+    straggler_rate:
+        Expected number of straggling blocks per run (top-quantile blocks
+        of the jitter draw stall far past the pack).
+    straggler_delay:
+        Base delay of a straggler, in wave units.
     """
 
     block_jitter: float = 0.25
@@ -72,6 +121,71 @@ class SchedulerParams:
             raise SchedulerError("residual_jitter must be in [0, 1]")
         if self.straggler_rate < 0 or self.straggler_delay < 0:
             raise SchedulerError("straggler parameters must be non-negative")
+
+
+def _resolve_params(launch: LaunchConfig, params: SchedulerParams | None) -> SchedulerParams:
+    """Default/device-specific parameter resolution, shared by the scalar
+    and batched schedulers so both sample the exact same model."""
+    if params is None:
+        # Scale the default jitter by the device's scheduling noise
+        # (calibrated on the V100's 0.08): GH200/MI250X schedules are
+        # noisier, shifting the Vs moments per family (paper SIII-C,
+        # "means and standard deviations ... different between the GPU
+        # types").
+        rel = launch.device.sched_jitter / 0.08 if launch.device.sched_jitter else 1.0
+        base = SchedulerParams()
+        params = SchedulerParams(
+            block_jitter=base.block_jitter * rel,
+            warp_jitter=base.warp_jitter * rel,
+            rotation=base.rotation,
+            residual_jitter=base.residual_jitter,
+            straggler_rate=base.straggler_rate,
+            straggler_delay=base.straggler_delay,
+        )
+    if launch.device.deterministic:
+        # Statically scheduled hardware: no jitter, no rotation, no
+        # stragglers.
+        params = SchedulerParams(
+            block_jitter=0.0, warp_jitter=0.0, rotation=False,
+            residual_jitter=0.0, straggler_rate=0.0, straggler_delay=0.0,
+        )
+    return params
+
+
+def _sample_rotation(rng: np.random.Generator, num_gpcs: int, per_gpc: int, mod: int) -> int:
+    """One rotation-mode draw: the round-robin start slot at GPC
+    granularity.  The single definition shared by the scalar and batched
+    paths (one ``integers`` draw per run)."""
+    return (int(rng.integers(num_gpcs)) * per_gpc) % mod
+
+
+@lru_cache(maxsize=64)
+def _issue_template(nb: int, res: int) -> np.ndarray:
+    """Unrotated issue times ``slot / resident`` (float32, read-only)."""
+    tmpl = (np.arange(nb, dtype=np.float32) / np.float32(res))
+    tmpl.setflags(write=False)
+    return tmpl
+
+
+@lru_cache(maxsize=64)
+def _element_template(nb: int, tpb: int, warp: int) -> np.ndarray:
+    """Element ids per (warp, lane) grid slot, sentinel-padded, read-only.
+
+    Row ``w`` of the returned ``(nb * warps_per_block, warp)`` matrix holds
+    the element ids handled by flat warp ``w`` in lane order; lanes beyond
+    ``threads_per_block`` carry a sentinel larger than any element id.
+    """
+    wpb = max(1, (tpb + warp - 1) // warp)
+    total = nb * tpb
+    dtype, sentinel = (np.int32, _SENTINEL32) if total < _SENTINEL32 else (np.int64, _SENTINEL64)
+    b = np.arange(nb).repeat(wpb)
+    w = np.tile(np.arange(wpb), nb)
+    lane = np.arange(warp)
+    tid = (w[:, None] * warp + lane[None, :])
+    elems = (b[:, None] * tpb + tid).astype(dtype)
+    elems[tid >= tpb] = sentinel
+    elems.setflags(write=False)
+    return elems
 
 
 class WaveScheduler:
@@ -97,28 +211,7 @@ class WaveScheduler:
     ) -> None:
         self.launch = launch
         self.rng = rng
-        if params is None:
-            # Scale the default jitter by the device's scheduling noise
-            # (calibrated on the V100's 0.08): GH200/MI250X schedules are
-            # noisier, shifting the Vs moments per family (paper SIII-C,
-            # "means and standard deviations ... different between the GPU
-            # types").
-            rel = launch.device.sched_jitter / 0.08 if launch.device.sched_jitter else 1.0
-            base = SchedulerParams()
-            params = SchedulerParams(
-                block_jitter=base.block_jitter * rel,
-                warp_jitter=base.warp_jitter * rel,
-                rotation=base.rotation,
-                residual_jitter=base.residual_jitter,
-                straggler_rate=base.straggler_rate,
-                straggler_delay=base.straggler_delay,
-            )
-        self.params = params
-        if launch.device.deterministic:
-            # Statically scheduled hardware: no jitter, no rotation.
-            self.params = SchedulerParams(
-                block_jitter=0.0, warp_jitter=0.0, rotation=False, residual_jitter=0.0
-            )
+        self.params = _resolve_params(launch, params)
 
     # ----------------------------------------------------------------- waves
     def _effective_jitter(self, base: float, contention: float) -> float:
@@ -127,7 +220,7 @@ class WaveScheduler:
         floor = self.params.residual_jitter * base
         return floor + (base - floor) * (1.0 - contention)
 
-    def _rotation(self, nb: int) -> int:
+    def _rotation(self) -> int:
         """Sample the discrete dispatch mode: the round-robin start SM.
 
         Real block dispatch round-robins across GPCs starting from
@@ -141,67 +234,122 @@ class WaveScheduler:
             return 0
         dev = self.launch.device
         per_gpc = max(1, self.launch.resident_blocks // dev.num_gpcs)
-        gpc = int(self.rng.integers(dev.num_gpcs))
-        return (gpc * per_gpc) % max(nb, 1)
+        return _sample_rotation(
+            self.rng, dev.num_gpcs, per_gpc, max(self.launch.n_blocks, 1)
+        )
 
-    def block_arrival_times(self, contention: float = 0.0) -> np.ndarray:
-        """Completion time of every block, in block-index order.
+    def _needs_block_draw(self, sigma: float, nb: int) -> bool:
+        return sigma > 0.0 or (self.params.straggler_rate > 0 and nb > 1)
 
-        ``arrival[b] = slot(b) / resident + work * lognormal(sigma_eff)``:
-        the first term is the (rotated) issue time — wave ``w`` spans
-        ``[w, w+1)`` — and the second is the jittered execution time, with
-        contention shrinking the jitter toward the residual floor.
+    def _block_times_from(
+        self, rot: int, u: np.ndarray | None, contention: float
+    ) -> np.ndarray:
+        """Deterministic float32 transform from draws to arrival times.
+
+        Shared verbatim (modulo the leading run axis) with
+        :class:`WaveSchedulerBatch`, which is what keeps the two paths
+        bit-identical.  ``u`` rows are per-run uniform [0, 1) float32 draws.
         """
         nb = self.launch.n_blocks
         res = self.launch.resident_blocks
         if res < 1:
             raise SchedulerError("resident block count must be >= 1")
-        rot = self._rotation(nb)
-        slots = (np.arange(nb) + rot) % max(nb, 1)
-        issue = slots.astype(np.float64) / res
-        sigma = self._effective_jitter(self.params.block_jitter, contention)
-        if sigma > 0:
-            work = self.rng.lognormal(mean=0.0, sigma=sigma, size=nb)
+        tmpl = _issue_template(nb, res)
+        if isinstance(rot, np.ndarray):
+            if rot.size == 0:
+                return np.empty((0, nb), dtype=np.float32)
+            # Rotations take at most num_gpcs distinct values: materialise
+            # each rolled template once and gather rows (the rolled rows
+            # are bit-identical to the scalar path's np.roll).
+            distinct, inverse = np.unique(rot, return_inverse=True)
+            rolled = np.stack([np.roll(tmpl, -int(r)) for r in distinct])
+            issue = rolled[inverse]
+        elif rot:
+            issue = np.roll(tmpl, -rot)
         else:
-            work = np.ones(nb)
-        times = issue + work
-        # Stragglers: a Poisson handful of blocks stalls far past the pack
-        # (cache-miss storms, ECC scrubs).  Under low contention this is
-        # absorbed by the jitter; under full contention it is the only
-        # non-discrete perturbation left, giving AO's variability its heavy
-        # non-Gaussian tail (Fig 2).
-        if self.params.straggler_rate > 0 and nb > 1:
-            k = min(int(self.rng.poisson(self.params.straggler_rate)), nb - 1)
-            if k:
-                lagged = self.rng.choice(nb, size=k, replace=False)
-                times[lagged] += self.params.straggler_delay * (
-                    1.0 + self.rng.standard_exponential(k)
+            issue = tmpl
+        sigma = self._effective_jitter(self.params.block_jitter, contention)
+        if u is None:
+            return issue + np.float32(1.0)
+        times = issue + (np.float32(1.0) + (_JITTER_SPAN * sigma) * u)
+        # Stragglers: the top straggler_rate/nb quantile of the same draw
+        # stalls far past the pack (cache-miss storms, ECC scrubs), with an
+        # Exp(1) delay factor recovered by inverse-CDF from the tail.  Under
+        # low contention this is absorbed by the jitter; under full
+        # contention it is the only non-discrete perturbation left, giving
+        # AO's variability its heavy non-Gaussian tail (Fig 2).
+        p = self.params.straggler_rate / nb if nb > 1 else 0.0
+        if p > 0:
+            thr = 1.0 - p
+            mask = u > thr
+            if mask.any():
+                tail = (u[mask] - thr) / p
+                times[mask] += self.params.straggler_delay * (
+                    np.float32(1.0) - np.log1p(-tail)
                 )
         return times
+
+    def block_arrival_times(self, contention: float = 0.0) -> np.ndarray:
+        """Completion time of every block (float32), in block-index order.
+
+        ``arrival[b] = slot(b) / resident + work * jitter``: the first term
+        is the (rotated) issue time — wave ``w`` spans ``[w, w+1)`` — and
+        the second is the jittered execution time, with contention
+        shrinking the jitter toward the residual floor.
+        """
+        nb = self.launch.n_blocks
+        sigma = self._effective_jitter(self.params.block_jitter, contention)
+        rot = self._rotation()
+        u = (
+            self.rng.random(nb, dtype=np.float32)
+            if self._needs_block_draw(sigma, nb)
+            else None
+        )
+        return self._block_times_from(rot, u, contention)
 
     def block_completion_order(self, contention: float = 0.0) -> np.ndarray:
         """Permutation: block indices sorted by completion time.
 
         This is the order in which SPA's per-block partial sums hit the
-        accumulator.
+        accumulator.  Sorted with :func:`numpy.argsort`'s default introsort
+        — deterministic, and row-identical between the 1-D and batched 2-D
+        calls (the draw-order contract above).
         """
-        times = self.block_arrival_times(contention)
-        return np.argsort(times, kind="stable")
+        return np.argsort(self.block_arrival_times(contention))
 
     # --------------------------------------------------------------- threads
+    def _warp_geometry(self) -> tuple[int, int, int]:
+        tpb = self.launch.threads_per_block
+        warp = self.launch.device.warp_size
+        return tpb, warp, max(1, (tpb + warp - 1) // warp)
+
+    def _warp_keys_from(
+        self, block_t: np.ndarray, uw: np.ndarray | None, sigma_w: float
+    ) -> np.ndarray:
+        """Float32 warp retirement keys from block times + warp draws."""
+        _, _, wpb = self._warp_geometry()
+        warp_slot = (np.arange(wpb, dtype=np.float32) + np.float32(1.0)) / np.float32(wpb)
+        if uw is None:
+            noise = warp_slot
+        else:
+            noise = warp_slot * (np.float32(1.0) + (_JITTER_SPAN * sigma_w) * uw)
+        return block_t[..., None] + noise * np.float32(0.5)
+
     def thread_retirement_order(
         self, n_elements: int, contention: float = 1.0
     ) -> np.ndarray:
         """Permutation of element indices in atomic-retirement order (AO).
 
         Element ``i`` is handled by thread ``i`` (``tid = threadIdx +
-        blockIdx * blockDim``); its atomic retires at::
+        blockIdx * blockDim``).  Warps retire at::
 
-            block_arrival(block(i)) + warp_slot(i) * lognormal(sigma_w) + lane_eps
+            block_arrival(block) + warp_slot * jitter(sigma_w) * 0.5
 
-        Lanes inside a warp keep their hardware serialization order.  With
+        and a warp's lanes retire contiguously in lane order (hardware
+        serializes same-address atomics from one warp in a fixed order),
+        so the order is the lane-expansion of the warp-key sort.  With
         ``contention = 1`` (AO's regime) the jitters collapse to the
-        residual floor, so the order is essentially the rotated issue order
+        residual floor and the order is essentially the rotated issue order
         — the discrete-mode mixture of Fig 2.
         """
         if n_elements < 1:
@@ -211,27 +359,20 @@ class WaveScheduler:
                 f"{n_elements} elements exceed grid capacity "
                 f"{self.launch.total_threads}"
             )
-        tpb = self.launch.threads_per_block
-        warp = self.launch.device.warp_size
-        warps_per_block = max(1, (tpb + warp - 1) // warp)
         nb = self.launch.n_blocks
-
-        block_t = self.block_arrival_times(contention)  # (nb,)
+        tpb, warp, wpb = self._warp_geometry()
+        block_t = self.block_arrival_times(contention)  # (nb,) f32
         sigma_w = self._effective_jitter(self.params.warp_jitter, contention)
-        if sigma_w > 0:
-            warp_noise = self.rng.lognormal(0.0, sigma_w, size=(nb, warps_per_block))
-        else:
-            warp_noise = np.ones((nb, warps_per_block))
-        warp_slot = (np.arange(warps_per_block) + 1.0) / warps_per_block
-        warp_t = block_t[:, None] + (warp_slot[None, :] * warp_noise) * 0.5
-
-        idx = np.arange(n_elements)
-        b = idx // tpb
-        w = (idx % tpb) // warp
-        lane = idx % warp
-        # lane epsilon keeps intra-warp order deterministic and stable.
-        t = warp_t[b, w] + lane * 1e-9
-        return np.argsort(t, kind="stable")
+        uw = (
+            self.rng.random((nb, wpb), dtype=np.float32)
+            if sigma_w > 0
+            else None
+        )
+        keys = self._warp_keys_from(block_t, uw, sigma_w)  # (nb, wpb)
+        korder = np.argsort(keys.reshape(-1))
+        elems = _element_template(nb, tpb, warp)[korder]
+        flat = elems.reshape(-1)
+        return flat[flat < n_elements]
 
     # ------------------------------------------------------------- utilities
     def displacement_stats(self, order: np.ndarray) -> dict:
@@ -247,3 +388,185 @@ class WaveScheduler:
             "mean": float(disp.mean() / max(n, 1)),
             "max": float(disp.max() / max(n, 1)) if n else 0.0,
         }
+
+
+class WaveSchedulerBatch:
+    """Batched run-axis engine: sample ``R`` runs' orders as one matrix.
+
+    Bit-identical to constructing a fresh :class:`WaveScheduler` per run
+    from the same context (each run consumes one
+    :meth:`~repro.runtime.RunContext.scheduler` stream, drawn in run
+    order — the draw-order contract in the module docstring), but the
+    transform, sort and lane expansion are folded over the whole run axis,
+    which is what makes the Figs 1–2/Table 5 regenerations fast.
+
+    Parameters
+    ----------
+    launch:
+        Validated launch configuration (shared by all runs).
+    ctx:
+        Run context supplying one scheduler stream per simulated run.
+    params:
+        Model knobs; resolved exactly like :class:`WaveScheduler`.
+    chunk_runs:
+        Maximum runs materialised per internal chunk (bounds the transient
+        ``(chunk, n)`` matrices); default derives from
+        :data:`repro.fp.summation.DEFAULT_RUN_CHUNK_ELEMENTS`.
+    """
+
+    def __init__(
+        self,
+        launch: LaunchConfig,
+        ctx: RunContext,
+        params: SchedulerParams | None = None,
+        *,
+        chunk_runs: int | None = None,
+    ) -> None:
+        self.launch = launch
+        self.ctx = ctx
+        self.params = _resolve_params(launch, params)
+        self.chunk_runs = chunk_runs
+        # Borrow the scalar transform helpers so both paths share one
+        # definition of the model arithmetic.
+        self._proto = WaveScheduler(launch, rng=None, params=self.params)
+
+    # ------------------------------------------------------------------ draws
+    def _draw_block_inputs(
+        self, n_runs: int, sigma: float
+    ) -> tuple[np.ndarray, np.ndarray | None, list[np.random.Generator]]:
+        """Consume ``n_runs`` scheduler streams, mirroring the scalar draw
+        order: rotation first, then the block vector."""
+        nb = self.launch.n_blocks
+        proto = self._proto
+        need_u = proto._needs_block_draw(sigma, nb)
+        u = np.empty((n_runs, nb), dtype=np.float32) if need_u else None
+        rngs: list[np.random.Generator] = []
+        dev = self.launch.device
+        num_gpcs = dev.num_gpcs
+        per_gpc = max(1, self.launch.resident_blocks // num_gpcs)
+        mod = max(nb, 1)
+        rotate = self.params.rotation
+        scheduler = self.ctx.scheduler
+        append = rngs.append
+        f32 = np.float32
+        rot_list = [0] * n_runs
+        for r in range(n_runs):
+            rng = scheduler()
+            append(rng)
+            if rotate:
+                rot_list[r] = _sample_rotation(rng, num_gpcs, per_gpc, mod)
+            if need_u:
+                rng.random(out=u[r], dtype=f32)
+        return np.asarray(rot_list, dtype=np.int64), u, rngs
+
+    # ------------------------------------------------------------------ waves
+    def block_arrival_times_batch(
+        self, n_runs: int, contention: float = 0.0
+    ) -> np.ndarray:
+        """``(n_runs, n_blocks)`` float32 arrival times, one run per row.
+
+        Row ``r`` is bit-identical to
+        ``WaveScheduler(launch, ctx.scheduler(), params).block_arrival_times(contention)``
+        for the ``r``-th stream of the same context.
+        """
+        if n_runs < 0:
+            raise SchedulerError(f"n_runs must be >= 0, got {n_runs}")
+        proto = self._proto
+        sigma = proto._effective_jitter(self.params.block_jitter, contention)
+        rots, u, _ = self._draw_block_inputs(n_runs, sigma)
+        return proto._block_times_from(rots, u, contention)
+
+    def block_completion_orders(
+        self, n_runs: int, contention: float = 0.0
+    ) -> np.ndarray:
+        """``(n_runs, n_blocks)`` block completion orders, one run per row."""
+        times = self.block_arrival_times_batch(n_runs, contention)
+        return np.argsort(times, axis=-1)
+
+    # ---------------------------------------------------------------- threads
+    def _validate_thread_request(self, n_elements: int) -> None:
+        if n_elements < 1:
+            raise SchedulerError(f"n_elements must be >= 1, got {n_elements}")
+        if n_elements > self.launch.total_threads:
+            raise SchedulerError(
+                f"{n_elements} elements exceed grid capacity "
+                f"{self.launch.total_threads}"
+            )
+
+    def _warp_sort_chunks(self, n_runs: int, contention: float, chunk_elems: int):
+        """Yield per-chunk ``(lo, hi, korder)`` warp-key argsorts.
+
+        Shared machinery of the element- and warp-granular order methods:
+        per-run draws (in run order, per the RNG contract), batched key
+        build, one axis-1 argsort per chunk.
+        """
+        from ..fp.summation import iter_run_chunks
+
+        proto = self._proto
+        nb = self.launch.n_blocks
+        _, _, wpb = proto._warp_geometry()
+        w_total = nb * wpb
+        sigma = proto._effective_jitter(self.params.block_jitter, contention)
+        sigma_w = proto._effective_jitter(self.params.warp_jitter, contention)
+        for lo, hi in iter_run_chunks(n_runs, chunk_elems, chunk_runs=self.chunk_runs):
+            chunk = hi - lo
+            rots, u, rngs = self._draw_block_inputs(chunk, sigma)
+            uw = None
+            if sigma_w > 0:
+                uw = np.empty((chunk, nb, wpb), dtype=np.float32)
+                for r, rng in enumerate(rngs):
+                    rng.random(out=uw[r], dtype=np.float32)
+            block_t = proto._block_times_from(rots, u, contention)
+            keys = proto._warp_keys_from(block_t, uw, sigma_w)
+            yield lo, hi, np.argsort(keys.reshape(chunk, w_total), axis=-1)
+
+    def thread_retirement_orders(
+        self, n_runs: int, n_elements: int, contention: float = 1.0
+    ) -> np.ndarray:
+        """``(n_runs, n_elements)`` retirement orders, one run per row."""
+        self._validate_thread_request(n_elements)
+        nb = self.launch.n_blocks
+        tpb, warp, _ = self._proto._warp_geometry()
+        tmpl = _element_template(nb, tpb, warp)
+        out = np.empty((n_runs, n_elements), dtype=tmpl.dtype)
+        for lo, hi, korder in self._warp_sort_chunks(
+            n_runs, contention, tmpl.size
+        ):
+            flat = tmpl[korder].reshape(hi - lo, -1)
+            out[lo:hi] = flat[flat < n_elements].reshape(hi - lo, n_elements)
+        return out
+
+    def thread_retirement_warp_orders(
+        self, n_runs: int, n_elements: int, contention: float = 1.0
+    ) -> np.ndarray:
+        """``(n_runs, n_elements / warp)`` retirement orders at warp
+        granularity.
+
+        Requires warp-aligned geometry (``threads_per_block`` and
+        ``n_elements`` both multiples of the warp size), where every warp's
+        elements are the contiguous id range ``[w * warp, (w+1) * warp)``
+        retiring in lane order.  Row ``r`` of the result lists the warp ids
+        in retirement order — ``x.reshape(-1, warp)[row].ravel()`` is
+        bit-identical to ``x[thread_retirement_order(...)]``, without ever
+        materialising the element-level permutation.  This is the fast path
+        of the AO experiments (one warp-slice gather instead of ``n``
+        scattered element reads per run).
+        """
+        self._validate_thread_request(n_elements)
+        tpb, warp, _ = self._proto._warp_geometry()
+        if tpb % warp or n_elements % warp:
+            raise SchedulerError(
+                "warp-granular orders need threads_per_block and n_elements "
+                f"to be multiples of the warp size {warp}; got "
+                f"tpb={tpb}, n_elements={n_elements}"
+            )
+        # With warp-aligned geometry, flat warp w covers element ids
+        # [w * warp, (w+1) * warp) — so exactly the first n/warp warps carry
+        # elements, and dropping the rest from the key sort leaves the warp
+        # retirement sequence.
+        n_warps = n_elements // warp
+        w_total = self.launch.n_blocks * max(1, (tpb + warp - 1) // warp)
+        out = np.empty((n_runs, n_warps), dtype=np.int64)
+        for lo, hi, korder in self._warp_sort_chunks(n_runs, contention, w_total):
+            out[lo:hi] = korder[korder < n_warps].reshape(hi - lo, n_warps)
+        return out

@@ -25,10 +25,15 @@ Kernels operate on plain NumPy arrays; the autograd layer in
 from .segmented import SegmentPlan, segmented_fold
 from .nondet import ContentionModel, OP_CONTENTION
 from .registry import OpSpec, op_spec, all_op_specs, documented_nondeterministic_ops
-from .scatter import scatter, scatter_reduce
-from .index_ops import index_add, index_copy, index_put
+from .scatter import scatter, scatter_reduce, scatter_reduce_runs
+from .index_ops import index_add, index_add_runs, index_copy, index_put
 from .cumsum import cumsum
-from .conv_transpose import conv_transpose1d, conv_transpose2d, conv_transpose3d
+from .conv_transpose import (
+    conv_transpose1d,
+    conv_transpose2d,
+    conv_transpose3d,
+    conv_transpose_runs,
+)
 from .gather import gather_rows, take_along_dim
 
 __all__ = [
@@ -42,13 +47,16 @@ __all__ = [
     "documented_nondeterministic_ops",
     "scatter",
     "scatter_reduce",
+    "scatter_reduce_runs",
     "index_add",
+    "index_add_runs",
     "index_copy",
     "index_put",
     "cumsum",
     "conv_transpose1d",
     "conv_transpose2d",
     "conv_transpose3d",
+    "conv_transpose_runs",
     "gather_rows",
     "take_along_dim",
 ]

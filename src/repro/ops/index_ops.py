@@ -23,9 +23,9 @@ from ..errors import ConfigurationError, ShapeError
 from ..runtime import RunContext, get_context
 from .nondet import OP_CONTENTION, ContentionModel
 from .registry import resolve_determinism
-from .segmented import SegmentPlan
+from .segmented import SegmentPlan, sampled_fold_runs
 
-__all__ = ["index_add", "index_copy", "index_put"]
+__all__ = ["index_add", "index_add_runs", "index_copy", "index_put"]
 
 
 def _validate(input_, index, source, dim):
@@ -81,6 +81,43 @@ def index_add(
     return folded.astype(inp.dtype, copy=False)
 
 
+def index_add_runs(
+    input_,
+    dim: int,
+    index,
+    source,
+    n_runs: int,
+    *,
+    alpha: float = 1.0,
+    plan: SegmentPlan | None = None,
+    model: ContentionModel | None = None,
+    ctx: RunContext | None = None,
+    chunk_runs: int | None = None,
+) -> list[np.ndarray]:
+    """``n_runs`` non-deterministic :func:`index_add` executions.
+
+    The batched run-axis engine for the Table 5 / Figs 3–5 sweeps: the
+    per-run randomness (raced-target Bernoulli + segment shuffle, one
+    scheduler stream per run) is drawn exactly like ``n_runs`` scalar
+    calls, while the per-target folds run batched through
+    :meth:`SegmentPlan.fold_runs`.  Each returned array is bit-identical to
+    the corresponding scalar ``index_add(..., deterministic=False)`` call.
+    """
+    inp, idx, src = _validate(input_, index, source, dim)
+    if plan is None:
+        plan = SegmentPlan(idx, inp.shape[0])
+    model = model or OP_CONTENTION["index_add"]
+    ctx = ctx or get_context()
+    vals = src if alpha == 1.0 else src * np.asarray(alpha, dtype=src.dtype)
+    return sampled_fold_runs(
+        plan, vals, n_runs, model, ctx,
+        reduce="sum",
+        init=inp,
+        chunk_runs=chunk_runs,
+        finalize=lambda folded: folded.astype(inp.dtype, copy=False),
+    )
+
+
 def index_copy(
     input_,
     dim: int,
@@ -114,7 +151,7 @@ def index_copy(
     if plan.n_sources:
         vals = src[order]
         has = plan.counts > 0
-        ends = plan._starts[1:][has] - 1
+        ends = plan.segment_ends[has] - 1
         out[np.flatnonzero(has)] = vals[ends]
     return out
 

@@ -24,9 +24,9 @@ from ..errors import ConfigurationError, ShapeError
 from ..runtime import RunContext, get_context
 from .nondet import OP_CONTENTION, ContentionModel
 from .registry import resolve_determinism
-from .segmented import SegmentPlan
+from .segmented import SegmentPlan, sampled_fold_runs
 
-__all__ = ["scatter", "scatter_reduce"]
+__all__ = ["scatter", "scatter_reduce", "scatter_reduce_runs"]
 
 _REDUCES = ("sum", "mean", "prod", "amax", "amin")
 
@@ -105,7 +105,18 @@ def scatter_reduce(
         order = plan.source_order(raced, rng)
     init = inp if include_self else None
     folded = plan.fold(s, order=order, reduce=reduce, init=init)
-    counts = plan.counts.reshape((-1,) + (1,) * (s.ndim - 1))
+    return _finalize_scatter_reduce(folded, inp, plan, reduce, include_self, s.ndim - 1)
+
+
+def _finalize_scatter_reduce(folded, inp, plan, reduce, include_self, payload_ndim):
+    """Shared post-fold arithmetic of the scalar and batched paths.
+
+    ``folded`` may carry a leading run axis; every operation below is
+    elementwise (or a broadcast), so the batched results stay bit-identical
+    to the per-run scalar ones.
+    """
+    lead = folded.ndim - (1 + payload_ndim)  # 0 scalar, 1 batched
+    counts = plan.counts.reshape((1,) * lead + (-1,) + (1,) * payload_ndim)
     has = counts > 0
     if reduce == "mean":
         denom = counts + (1 if include_self else 0)
@@ -119,6 +130,48 @@ def scatter_reduce(
     # include_self=False: untouched rows keep their input values (and
     # amax/amin identity rows must not leak +-inf).
     return np.where(has, folded, inp).astype(inp.dtype, copy=False)
+
+
+def scatter_reduce_runs(
+    input_,
+    dim: int,
+    index,
+    src,
+    reduce: str,
+    n_runs: int,
+    *,
+    include_self: bool = True,
+    plan: SegmentPlan | None = None,
+    model: ContentionModel | None = None,
+    ctx: RunContext | None = None,
+    chunk_runs: int | None = None,
+) -> list[np.ndarray]:
+    """``n_runs`` non-deterministic :func:`scatter_reduce` executions.
+
+    The batched run-axis engine for the Table 5 / Figs 3–5 sweeps: per-run
+    randomness is drawn exactly like ``n_runs`` scalar calls (one scheduler
+    stream per run — raced-target Bernoulli then segment shuffle), while
+    the segmented folds and the post-fold arithmetic are evaluated for all
+    runs at once via :meth:`SegmentPlan.fold_runs`.  Each returned array is
+    bit-identical to the corresponding scalar
+    ``scatter_reduce(..., deterministic=False)`` call.
+    """
+    if reduce not in _REDUCES:
+        raise ConfigurationError(f"unknown reduce {reduce!r}; choose from {_REDUCES}")
+    inp, idx, s = _validate(input_, index, src, dim)
+    if plan is None:
+        plan = SegmentPlan(idx, inp.shape[0])
+    model = model or OP_CONTENTION["scatter_reduce"]
+    ctx = ctx or get_context()
+    return sampled_fold_runs(
+        plan, s, n_runs, model, ctx,
+        reduce=reduce,
+        init=inp if include_self else None,
+        chunk_runs=chunk_runs,
+        finalize=lambda folded: _finalize_scatter_reduce(
+            folded, inp, plan, reduce, include_self, s.ndim - 1
+        ),
+    )
 
 
 def scatter(
@@ -153,6 +206,6 @@ def scatter(
     if plan.n_sources:
         vals = s[order]
         has = plan.counts > 0
-        ends = plan._starts[1:][has] - 1
+        ends = plan.segment_ends[has] - 1
         out[np.flatnonzero(has)] = vals[ends]
     return out

@@ -46,6 +46,28 @@ _UFUNC = {
     "amin": np.minimum,
 }
 
+#: Fold-strategy crossover: up to this segment width the per-step Python
+#: loop (one vectorised ufunc call per contribution slot, no prefix-matrix
+#: materialisation) beats ``ufunc.accumulate``; beyond it the k_max
+#: dispatches dominate (skewed index distributions) and the single C-level
+#: accumulate wins.  Both produce bit-identical folds.
+_FOLD_LOOP_MAX_K = 256
+
+
+def _fold_axis(mat: np.ndarray, ufunc: np.ufunc, axis: int) -> np.ndarray:
+    """Left fold of ``mat`` along ``axis``, bit-identical to
+    ``ufunc.accumulate(mat, axis=axis)`` sliced at the last position."""
+    k = mat.shape[axis]
+    if k - 1 > _FOLD_LOOP_MAX_K:
+        return np.take(ufunc.accumulate(mat, axis=axis), -1, axis=axis)
+    sl = [slice(None)] * mat.ndim
+    sl[axis] = 0
+    acc = mat[tuple(sl)].copy()
+    for i in range(1, k):
+        sl[axis] = i
+        acc = ufunc(acc, mat[tuple(sl)])
+    return acc
+
 
 class SegmentPlan:
     """Reusable fold plan for one (index, n_targets) pair.
@@ -97,6 +119,20 @@ class SegmentPlan:
         self.ranks = np.arange(self.n_sources, dtype=np.int64) - starts[self.sorted_targets]
         self.multi_targets = np.flatnonzero(self.counts >= 2)
 
+    @property
+    def segment_starts(self) -> np.ndarray:
+        """Start position of each target's segment in the sorted order
+        (``(n_targets,)``; equals the previous segment's end)."""
+        return self._starts[:-1]
+
+    @property
+    def segment_ends(self) -> np.ndarray:
+        """End position (exclusive) of each target's segment in the sorted
+        order (``(n_targets,)``).  ``order[segment_ends[t] - 1]`` is the
+        last — canonically winning — source of target ``t`` (empty targets
+        have ``segment_ends[t] == segment_starts[t]``)."""
+        return self._starts[1:]
+
     # ------------------------------------------------------------- ordering
     def source_order(
         self,
@@ -124,6 +160,39 @@ class SegmentPlan:
         keys[pos_mask] = rng.random(int(pos_mask.sum()))
         resort = np.lexsort((keys, self.sorted_targets))
         return self.order[resort]
+
+    def sample_orders(self, n_runs: int, model, ctx) -> np.ndarray:
+        """Draw ``n_runs`` per-run fold orders — the batched ops' shared
+        RNG front end.
+
+        One scheduler stream per run, consumed in run order, each drawing
+        the raced-target Bernoulli then the segment shuffle — exactly the
+        per-call sequence of the scalar scatter/index kernels, which is
+        what keeps the batched runs bit-identical to a scalar loop.
+
+        Parameters
+        ----------
+        n_runs:
+            Number of runs to sample.
+        model:
+            :class:`~repro.ops.nondet.ContentionModel` deciding which
+            multiply-hit targets race each run.
+        ctx:
+            :class:`~repro.runtime.RunContext` supplying the streams.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_runs, n_sources)`` order matrix for :meth:`fold_runs`.
+        """
+        orders = np.empty((n_runs, self.n_sources), dtype=np.int64)
+        for r in range(n_runs):
+            rng = ctx.scheduler()
+            raced = model.sample_raced(
+                self.multi_targets, self.n_sources, self.n_targets, rng
+            )
+            orders[r] = self.source_order(raced, rng)
+        return orders
 
     # ----------------------------------------------------------------- fold
     def fold(
@@ -186,10 +255,130 @@ class SegmentPlan:
             mat[:, 0] = init_arr
         if self.n_sources:
             mat[self.sorted_targets, self.ranks + 1] = vals_sorted
-        folded = ufunc.accumulate(mat, axis=1)[:, -1]
+        folded = _fold_axis(mat, ufunc, axis=1)
         # Zero-contribution rows hold the identity (or init); for amax/amin
         # that is +-inf — the op layer substitutes the input values there.
         return folded
+
+    def fold_runs(
+        self,
+        values: np.ndarray,
+        orders: np.ndarray,
+        *,
+        reduce: str = "sum",
+        init: np.ndarray | None = None,
+        chunk_runs: int | None = None,
+    ) -> np.ndarray:
+        """Batched :meth:`fold`: one fold per row of an ``(R, n)`` order
+        matrix, bit-identical per run to the scalar fold.
+
+        This is the scatter-op half of the batched run-axis engine: the
+        per-run orders come from :meth:`source_order` (one scheduler stream
+        per run), while the fold matrices of ``chunk_runs`` runs are filled
+        and folded in lockstep.
+
+        Parameters
+        ----------
+        values:
+            ``(n_sources, *payload)`` contributions, shared by all runs.
+        orders:
+            ``(R, n_sources)`` fold orders, one run per row.
+        reduce, init:
+            As in :meth:`fold`.
+        chunk_runs:
+            Memory knob bounding the ``(chunk, n_targets, k_max+1,
+            *payload)`` fold matrices (default from
+            :func:`repro.fp.summation.iter_run_chunks`).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(R, n_targets, *payload)`` folded values.
+        """
+        from ..fp.summation import iter_run_chunks
+
+        if reduce not in _UFUNC:
+            raise ConfigurationError(
+                f"unknown reduce {reduce!r}; choose from {sorted(_UFUNC)}"
+            )
+        vals = np.asarray(values)
+        om = np.asarray(orders)
+        if om.ndim != 2 or om.shape[1] != self.n_sources:
+            raise ShapeError(
+                f"orders must be (runs, n_sources={self.n_sources}), got {om.shape}"
+            )
+        if vals.shape[:1] != (self.n_sources,):
+            raise ShapeError(
+                f"values first axis must be n_sources={self.n_sources}, "
+                f"got shape {vals.shape}"
+            )
+        n_runs = om.shape[0]
+        payload = vals.shape[1:]
+        dtype = vals.dtype if np.issubdtype(vals.dtype, np.floating) else np.float64
+        ufunc = _UFUNC[reduce]
+        identity = np.asarray(_IDENTITY[reduce], dtype=dtype)[()]
+        vals = vals.astype(dtype, copy=False)
+
+        init_arr = None
+        if init is not None:
+            init_arr = np.asarray(init, dtype=dtype)
+            if init_arr.shape != (self.n_targets,) + payload:
+                raise ShapeError(
+                    f"init shape {init_arr.shape} != {(self.n_targets,) + payload}"
+                )
+        out = np.empty((n_runs, self.n_targets) + payload, dtype=dtype)
+        elems_per_run = self.n_targets * (self.k_max + 1) * int(np.prod(payload, dtype=np.int64) or 1)
+        for lo, hi in iter_run_chunks(n_runs, elems_per_run, chunk_runs=chunk_runs):
+            chunk = hi - lo
+            mat = np.full(
+                (chunk, self.n_targets, self.k_max + 1) + payload, identity, dtype=dtype
+            )
+            if init_arr is not None:
+                mat[:, :, 0] = init_arr
+            if self.n_sources:
+                runs_ix = np.arange(chunk)[:, None]
+                mat[runs_ix, self.sorted_targets[None, :], (self.ranks + 1)[None, :]] = (
+                    vals[om[lo:hi]]
+                )
+            out[lo:hi] = _fold_axis(mat, ufunc, axis=2)
+        return out
+
+
+def sampled_fold_runs(
+    plan: SegmentPlan,
+    values,
+    n_runs: int,
+    model,
+    ctx,
+    *,
+    reduce: str = "sum",
+    init: np.ndarray | None = None,
+    chunk_runs: int | None = None,
+    finalize=None,
+) -> list[np.ndarray]:
+    """Chunked sample→fold→emit loop shared by the batched scatter/index ops.
+
+    Samples each chunk's orders (one scheduler stream per run, in run
+    order — chunk boundaries are invisible to the RNG contract), folds
+    them via :meth:`SegmentPlan.fold_runs`, applies ``finalize`` to the
+    chunk batch (elementwise post-fold arithmetic, so per-run bits are
+    unaffected), and emits per-run **copies** so neither the orders matrix
+    nor the fold batch outlives its chunk and a retained single run never
+    pins a whole batch in memory.
+    """
+    from ..fp.summation import iter_run_chunks
+
+    vals = np.asarray(values)
+    payload = int(np.prod(vals.shape[1:], dtype=np.int64) or 1)
+    elems_per_run = plan.n_targets * payload * (plan.k_max + 1)
+    outs: list[np.ndarray] = []
+    for lo, hi in iter_run_chunks(n_runs, elems_per_run, chunk_runs=chunk_runs):
+        orders = plan.sample_orders(hi - lo, model, ctx)
+        folded = plan.fold_runs(vals, orders, reduce=reduce, init=init)
+        if finalize is not None:
+            folded = finalize(folded)
+        outs.extend(np.array(folded[r]) for r in range(hi - lo))
+    return outs
 
 
 def segmented_fold(

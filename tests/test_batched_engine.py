@@ -1,0 +1,345 @@
+"""Batched↔scalar bit-exact equivalence of the run-axis engine.
+
+The batched engine's contract (see ``repro/gpusim/scheduler.py`` and
+``repro/fp/summation.py``) is that every batched operation reproduces the
+per-run scalar results **bit for bit**: same RNG draws per run (one
+scheduler stream each, in run order), same elementwise float32 transforms,
+same deterministic sorts.  These tests pin that contract across
+algorithms, dtypes (f32/f64) and odd sizes (0, 1, non-powers-of-two).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchedulerError, ShapeError
+from repro.fp.summation import (
+    batched_tree_fold,
+    iter_run_chunks,
+    permuted_sum,
+    permuted_sums,
+    tree_fold,
+)
+from repro.gpusim import (
+    LaunchConfig,
+    WaveScheduler,
+    WaveSchedulerBatch,
+    atomic_fold,
+    batched_atomic_fold,
+    get_device,
+)
+from repro.ops import (
+    conv_transpose1d,
+    conv_transpose2d,
+    conv_transpose_runs,
+    index_add,
+    index_add_runs,
+    scatter_reduce,
+    scatter_reduce_runs,
+)
+from repro.ops.segmented import SegmentPlan
+from repro.runtime import RunContext
+
+SIZES = (0, 1, 7, 64, 1000)
+DTYPES = (np.float32, np.float64)
+
+
+def make_launch(nb=64, tpb=64, device="v100"):
+    return LaunchConfig(device=get_device(device), n_blocks=nb, threads_per_block=tpb)
+
+
+class TestIterRunChunks:
+    def test_covers_all_runs_once(self):
+        spans = list(iter_run_chunks(10, 3, chunk_runs=4))
+        assert spans == [(0, 4), (4, 8), (8, 10)]
+
+    def test_zero_runs(self):
+        assert list(iter_run_chunks(0, 5)) == []
+
+    def test_budget_derived_chunk(self):
+        spans = list(iter_run_chunks(7, 10**9))
+        assert spans == [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 7)]
+
+    def test_invalid_chunk(self):
+        with pytest.raises(Exception):
+            list(iter_run_chunks(3, 4, chunk_runs=0))
+
+
+class TestPermutedSums:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("n", SIZES)
+    def test_matches_scalar_bitwise(self, dtype, n):
+        rng = np.random.default_rng(n + 17)
+        x = rng.standard_normal(n).astype(dtype)
+        perms = np.stack([rng.permutation(n) for _ in range(5)]) if n else np.empty((5, 0), dtype=np.int64)
+        batched = permuted_sums(x, perms)
+        scalar = np.array([permuted_sum(x, p) for p in perms])
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_chunking_does_not_change_bits(self):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal(33)
+        perms = np.stack([rng.permutation(33) for _ in range(9)])
+        a = permuted_sums(x, perms, chunk_runs=2)
+        b = permuted_sums(x, perms, chunk_runs=None)
+        np.testing.assert_array_equal(a, b)
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(ShapeError):
+            permuted_sums(np.ones(4), np.zeros((2, 3), dtype=np.int64))
+        with pytest.raises(ShapeError):
+            permuted_sums(np.ones(4), np.arange(4))
+
+    def test_out_of_range_rejected(self):
+        perms = np.array([[0, 1, 4]])
+        with pytest.raises(Exception):
+            permuted_sums(np.ones(3), perms)
+
+
+class TestBatchedTreeFold:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("n", SIZES)
+    def test_matches_scalar_bitwise(self, dtype, n):
+        rng = np.random.default_rng(n + 5)
+        mat = rng.standard_normal((6, n)).astype(dtype)
+        batched = batched_tree_fold(mat)
+        scalar = np.array([tree_fold(row) for row in mat])
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_chunked(self):
+        mat = np.random.default_rng(1).standard_normal((7, 19)).astype(np.float32)
+        np.testing.assert_array_equal(
+            batched_tree_fold(mat, chunk_runs=3), batched_tree_fold(mat)
+        )
+
+
+class TestBatchedAtomicFold:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("n", (1, 7, 64, 1000))
+    def test_matches_scalar_bitwise(self, dtype, n):
+        rng = np.random.default_rng(n)
+        x = rng.standard_normal(n).astype(dtype)
+        orders = np.stack([rng.permutation(n) for _ in range(4)])
+        batched = batched_atomic_fold(x, orders)
+        scalar = np.array([atomic_fold(x, o) for o in orders])
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_shape_validation(self):
+        with pytest.raises(SchedulerError):
+            batched_atomic_fold(np.ones(3), np.zeros((2, 4), dtype=np.int64))
+
+
+class TestSchedulerBatchEquivalence:
+    """WaveSchedulerBatch row r == fresh WaveScheduler on stream r."""
+
+    @pytest.mark.parametrize("contention", (0.0, 0.5, 1.0))
+    @pytest.mark.parametrize("nb,tpb", [(1, 32), (5, 64), (100, 48), (313, 64)])
+    def test_block_orders(self, nb, tpb, contention):
+        launch = make_launch(nb, tpb)
+        ca, cb = RunContext(7), RunContext(7)
+        batched = WaveSchedulerBatch(launch, ca).block_completion_orders(
+            6, contention=contention
+        )
+        for r in range(6):
+            scalar = WaveScheduler(launch, cb.scheduler()).block_completion_order(
+                contention=contention
+            )
+            np.testing.assert_array_equal(batched[r], scalar)
+
+    @pytest.mark.parametrize("contention", (0.0, 1.0))
+    @pytest.mark.parametrize(
+        "nb,tpb,n",
+        [(5, 64, 17), (5, 64, 320), (100, 48, 4000), (4, 33, 130), (2, 32, 64)],
+    )
+    def test_thread_orders(self, nb, tpb, n, contention):
+        launch = make_launch(nb, tpb)
+        ca, cb = RunContext(9), RunContext(9)
+        batched = WaveSchedulerBatch(launch, ca).thread_retirement_orders(
+            5, n, contention=contention
+        )
+        for r in range(5):
+            scalar = WaveScheduler(launch, cb.scheduler()).thread_retirement_order(
+                n, contention=contention
+            )
+            np.testing.assert_array_equal(batched[r], scalar)
+            assert sorted(batched[r].tolist()) == list(range(n))
+
+    def test_block_arrival_times(self):
+        launch = make_launch(37, 64)
+        ca, cb = RunContext(2), RunContext(2)
+        batched = WaveSchedulerBatch(launch, ca).block_arrival_times_batch(4, 0.3)
+        for r in range(4):
+            scalar = WaveScheduler(launch, cb.scheduler()).block_arrival_times(0.3)
+            np.testing.assert_array_equal(batched[r], scalar)
+
+    def test_warp_orders_expand_to_thread_orders(self):
+        # warp-granular fast path == element orders, warp-aligned geometry
+        launch = make_launch(10, 64)
+        n = 640
+        ca, cb = RunContext(4), RunContext(4)
+        warp = launch.device.warp_size
+        worders = WaveSchedulerBatch(launch, ca).thread_retirement_warp_orders(5, n)
+        eorders = WaveSchedulerBatch(launch, cb).thread_retirement_orders(5, n)
+        for r in range(5):
+            expanded = (worders[r][:, None] * warp + np.arange(warp)).ravel()
+            np.testing.assert_array_equal(expanded, eorders[r])
+
+    def test_warp_orders_reject_misaligned(self):
+        launch = make_launch(10, 48)  # tpb not a multiple of 32
+        with pytest.raises(SchedulerError):
+            WaveSchedulerBatch(launch, RunContext(0)).thread_retirement_warp_orders(3, 96)
+        launch = make_launch(10, 64)
+        with pytest.raises(SchedulerError):
+            WaveSchedulerBatch(launch, RunContext(0)).thread_retirement_warp_orders(3, 70)
+
+    def test_chunking_preserves_bits(self):
+        launch = make_launch(29, 64)
+        ca, cb = RunContext(6), RunContext(6)
+        a = WaveSchedulerBatch(launch, ca, chunk_runs=2).block_completion_orders(7)
+        b = WaveSchedulerBatch(launch, cb).block_completion_orders(7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_deterministic_device(self):
+        import repro.lpu  # registers the lpu device  # noqa: F401
+
+        launch = LaunchConfig(device=get_device("lpu"), n_blocks=4, threads_per_block=1)
+        orders = WaveSchedulerBatch(launch, RunContext(0)).block_completion_orders(3)
+        np.testing.assert_array_equal(orders[0], orders[1])
+        np.testing.assert_array_equal(orders[1], orders[2])
+
+    def test_zero_runs(self):
+        launch = make_launch(16, 64)
+        batch = WaveSchedulerBatch(launch, RunContext(0))
+        assert batch.block_arrival_times_batch(0).shape == (0, 16)
+        assert batch.block_completion_orders(0).shape == (0, 16)
+        assert batch.thread_retirement_orders(0, 100).shape == (0, 100)
+
+    def test_runs_apis_return_independent_arrays(self):
+        rng = np.random.default_rng(2)
+        idx = rng.integers(0, 10, 40)
+        src = rng.standard_normal(40).astype(np.float32)
+        inp = rng.standard_normal(10).astype(np.float32)
+        outs = scatter_reduce_runs(inp, 0, idx, src, "sum", 3, ctx=RunContext(1))
+        assert all(o.base is None for o in outs)
+
+    def test_capacity_validation(self):
+        launch = make_launch(2, 64)
+        with pytest.raises(SchedulerError):
+            WaveSchedulerBatch(launch, RunContext(0)).thread_retirement_orders(2, 1000)
+        with pytest.raises(SchedulerError):
+            WaveSchedulerBatch(launch, RunContext(0)).thread_retirement_orders(2, 0)
+
+
+class TestSegmentPlanFoldRuns:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("reduce", ("sum", "prod", "amax", "amin"))
+    def test_matches_scalar_bitwise(self, dtype, reduce):
+        rng = np.random.default_rng(3)
+        n, t = 50, 11
+        idx = rng.integers(0, t, n)
+        plan = SegmentPlan(idx, t)
+        vals = rng.standard_normal(n).astype(dtype)
+        orders = np.stack([plan.source_order(plan.multi_targets, rng) for _ in range(4)])
+        batched = plan.fold_runs(vals, orders, reduce=reduce)
+        for r in range(4):
+            scalar = plan.fold(vals, order=orders[r], reduce=reduce)
+            np.testing.assert_array_equal(batched[r], scalar)
+
+    def test_with_init_and_payload(self):
+        rng = np.random.default_rng(8)
+        n, t = 30, 9
+        idx = rng.integers(0, t, n)
+        plan = SegmentPlan(idx, t)
+        vals = rng.standard_normal((n, 4)).astype(np.float32)
+        init = rng.standard_normal((t, 4)).astype(np.float32)
+        orders = np.stack([plan.source_order(plan.multi_targets, rng) for _ in range(3)])
+        batched = plan.fold_runs(vals, orders, reduce="sum", init=init, chunk_runs=2)
+        for r in range(3):
+            scalar = plan.fold(vals, order=orders[r], reduce="sum", init=init)
+            np.testing.assert_array_equal(batched[r], scalar)
+
+    def test_segment_accessors(self):
+        idx = np.array([2, 0, 2, 1, 2])
+        plan = SegmentPlan(idx, 4)
+        np.testing.assert_array_equal(plan.segment_starts, [0, 1, 2, 5])
+        np.testing.assert_array_equal(plan.segment_ends, [1, 2, 5, 5])
+        # last source position of each non-empty segment, in sorted order
+        has = plan.counts > 0
+        last = plan.order[plan.segment_ends[has] - 1]
+        assert set(last.tolist()) <= set(range(5))
+
+
+class TestOpRunsEquivalence:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_scatter_reduce_runs(self, dtype):
+        rng = np.random.default_rng(12)
+        n, t = 400, 80
+        idx = rng.integers(0, t, n)
+        src = rng.standard_normal(n).astype(dtype)
+        inp = rng.standard_normal(t).astype(dtype)
+        plan = SegmentPlan(idx, t)
+        ca, cb = RunContext(21), RunContext(21)
+        batched = scatter_reduce_runs(inp, 0, idx, src, "sum", 6, plan=plan, ctx=ca)
+        for r in range(6):
+            scalar = scatter_reduce(
+                inp, 0, idx, src, "sum", plan=plan, ctx=cb, deterministic=False
+            )
+            np.testing.assert_array_equal(batched[r], scalar)
+
+    def test_scatter_reduce_runs_mean_no_self(self):
+        rng = np.random.default_rng(13)
+        n, t = 120, 30
+        idx = rng.integers(0, t, n)
+        src = rng.standard_normal((n, 3)).astype(np.float32)
+        inp = rng.standard_normal((t, 3)).astype(np.float32)
+        ca, cb = RunContext(5), RunContext(5)
+        batched = scatter_reduce_runs(
+            inp, 0, idx, src, "mean", 4, include_self=False, ctx=ca
+        )
+        for r in range(4):
+            scalar = scatter_reduce(
+                inp, 0, idx, src, "mean", include_self=False, ctx=cb,
+                deterministic=False,
+            )
+            np.testing.assert_array_equal(batched[r], scalar)
+
+    def test_index_add_runs(self):
+        rng = np.random.default_rng(31)
+        n, t = 90, 40
+        idx = rng.integers(0, t, n)
+        src = rng.standard_normal((n, 8)).astype(np.float32)
+        inp = rng.standard_normal((t, 8)).astype(np.float32)
+        plan = SegmentPlan(idx, t)
+        ca, cb = RunContext(33), RunContext(33)
+        batched = index_add_runs(inp, 0, idx, src, 5, plan=plan, ctx=ca)
+        for r in range(5):
+            scalar = index_add(
+                inp, 0, idx, src, plan=plan, ctx=cb, deterministic=False
+            )
+            np.testing.assert_array_equal(batched[r], scalar)
+
+    def test_conv_transpose_runs(self):
+        rng = np.random.default_rng(41)
+        x = rng.standard_normal((2, 3, 6, 6)).astype(np.float32)
+        w = rng.standard_normal((3, 4, 3, 3)).astype(np.float32)
+        ca, cb = RunContext(51), RunContext(51)
+        ref, outs = conv_transpose_runs(x, w, nd=2, n_runs=5, stride=2, padding=1, ctx=ca)
+        ref_scalar = conv_transpose2d(x, w, stride=2, padding=1, deterministic=True)
+        np.testing.assert_array_equal(ref, ref_scalar)
+        for r in range(5):
+            scalar = conv_transpose2d(
+                x, w, stride=2, padding=1, deterministic=False, ctx=cb
+            )
+            np.testing.assert_array_equal(outs[r], scalar)
+
+    def test_conv_transpose_runs_with_bias(self):
+        rng = np.random.default_rng(43)
+        x = rng.standard_normal((1, 2, 5)).astype(np.float32)
+        w = rng.standard_normal((2, 3, 4)).astype(np.float32)
+        b = rng.standard_normal(3).astype(np.float32)
+        ca, cb = RunContext(3), RunContext(3)
+        ref, outs = conv_transpose_runs(x, w, nd=1, n_runs=3, bias=b, stride=3, ctx=ca)
+        for r in range(3):
+            scalar_out = conv_transpose1d(
+                x, w, bias=b, stride=3, deterministic=False, ctx=cb
+            )
+            np.testing.assert_array_equal(outs[r], scalar_out)
