@@ -15,6 +15,15 @@ successive PRs can record before/after numbers side by side::
 
 Speedup ratios against the ``seed_baseline`` label (when present) are
 recomputed on every invocation.
+
+CI regression gate: ``--check-against LABEL`` compares the freshly
+measured means to the committed means under ``LABEL`` and exits non-zero
+when any test's mean regressed by more than ``--max-regression`` (default
+2x — generous, so container timing noise does not flake the job).
+Combine with ``--no-write`` to leave the trajectory file untouched::
+
+    python benchmarks/save_baseline.py --no-write \
+        --output BENCH_0002.json --check-against post_change
 """
 
 from __future__ import annotations
@@ -87,6 +96,31 @@ def merge(output: Path, label: str, means: dict[str, float]) -> dict:
     return doc
 
 
+def check_regressions(
+    output: Path, label: str, means: dict[str, float], max_ratio: float
+) -> list[str]:
+    """Compare fresh ``means`` to the stored ``label`` means; return
+    failure messages for every test whose mean regressed > ``max_ratio``."""
+    with open(output) as fh:
+        doc = json.load(fh)
+    stored = doc.get("runs", {}).get(label, {}).get("means")
+    if stored is None:
+        return [f"no stored means under label {label!r} in {output}"]
+    failures = []
+    for name, mean in sorted(means.items()):
+        ref = stored.get(name)
+        if ref is None or ref <= 0:
+            continue
+        ratio = mean / ref
+        status = "FAIL" if ratio > max_ratio else "ok"
+        print(f"  {name}: {ref * 1e3:.1f}ms -> {mean * 1e3:.1f}ms ({ratio:.2f}x) {status}")
+        if ratio > max_ratio:
+            failures.append(
+                f"{name} regressed {ratio:.2f}x vs {label!r} (limit {max_ratio}x)"
+            )
+    return failures
+
+
 def main() -> None:
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--label", default="post_change",
@@ -95,14 +129,30 @@ def main() -> None:
                     help="benchmark files/tests to run")
     ap.add_argument("--output", type=Path, default=DEFAULT_OUTPUT,
                     help="perf-trajectory JSON to update")
+    ap.add_argument("--check-against", metavar="LABEL", default=None,
+                    help="fail if any mean regresses vs this stored label")
+    ap.add_argument("--max-regression", type=float, default=2.0,
+                    help="allowed mean ratio vs the checked label (default 2.0)")
+    ap.add_argument("--no-write", action="store_true",
+                    help="measure (and check) without updating the JSON")
     args = ap.parse_args()
 
     means = run_benchmarks(args.tests)
-    doc = merge(args.output, args.label, means)
-    with open(args.output, "w") as fh:
-        json.dump(doc, fh, indent=2, sort_keys=True)
-        fh.write("\n")
-    print(f"recorded {len(means)} benchmark means under {args.label!r} in {args.output}")
+    if not args.no_write:
+        doc = merge(args.output, args.label, means)
+        with open(args.output, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"recorded {len(means)} benchmark means under {args.label!r} in {args.output}")
+    if args.check_against:
+        failures = check_regressions(
+            args.output, args.check_against, means, args.max_regression
+        )
+        if failures:
+            for msg in failures:
+                print(f"REGRESSION: {msg}", file=sys.stderr)
+            raise SystemExit(1)
+        print(f"no regressions > {args.max_regression}x vs {args.check_against!r}")
 
 
 if __name__ == "__main__":

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..reductions import get_reduction
 from ..runtime import RunContext
-from ..solvers import conjugate_gradient, iterate_divergence, spd_test_matrix
+from ..solvers import conjugate_gradient_runs, iterate_divergence, spd_test_matrix
 from .base import Experiment, register
 
 __all__ = ["CgDivergence"]
@@ -57,10 +57,15 @@ class CgDivergence(Experiment):
             }
             for k in range(0, len(div_nd), max(1, len(div_nd) // 10))
         ]
+        # Batched run-axis engine: all n_runs solves advance in lockstep
+        # (one scheduler stream per run; converged runs freeze), instead of
+        # one full scalar solve per run.
         iters = sorted(
             {
-                conjugate_gradient(A, b, reduction=spa, tol=params["tol"], ctx=ctx).n_iter
-                for _ in range(params["n_runs"])
+                res.n_iter
+                for res in conjugate_gradient_runs(
+                    A, b, params["n_runs"], reduction=spa, tol=params["tol"], ctx=ctx
+                )
             }
         )
         nonzero = div_nd[div_nd > 0]

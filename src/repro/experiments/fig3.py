@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from ..runtime import RunContext
 from .base import Experiment, register
-from ._opruns import index_add_variability, scatter_reduce_variability
+from ._opruns import SweepCell, sweep_variability
 
 __all__ = ["Fig3Heatmaps"]
 
@@ -38,21 +38,24 @@ class Fig3Heatmaps(Experiment):
         }
 
     def _run(self, ctx: RunContext, params: dict):
-        rows: list[dict] = []
-        for n in params["sr_dims"]:
-            for r in params["ratios"]:
-                v = scatter_reduce_variability(n, r, "sum", params["n_runs"], ctx)
-                rows.append(
-                    {"op": "scatter_reduce", "input_dim": n, "R": r, "vc_mean": v.vc_mean}
-                )
-        for n in params["ia_dims"]:
-            for r in params["ratios"]:
-                if r < 0.15:
-                    continue  # paper's index_add panel starts at R = 0.2
-                v = index_add_variability(n, r, params["n_runs"], ctx)
-                rows.append(
-                    {"op": "index_add", "input_dim": n, "R": r, "vc_mean": v.vc_mean}
-                )
+        # Configuration-axis batching: the whole (dims x ratios) grid goes
+        # through one sweep_variability call (plans built up front, cells
+        # evaluated in the scalar sweep's order — bit-identical results).
+        cells = [
+            SweepCell("scatter_reduce", n, r, "sum")
+            for n in params["sr_dims"]
+            for r in params["ratios"]
+        ] + [
+            SweepCell("index_add", n, r)
+            for n in params["ia_dims"]
+            for r in params["ratios"]
+            if r >= 0.15  # paper's index_add panel starts at R = 0.2
+        ]
+        results = sweep_variability(cells, params["n_runs"], ctx)
+        rows = [
+            {"op": c.op, "input_dim": c.n, "R": c.ratio, "vc_mean": v.vc_mean}
+            for c, v in zip(cells, results)
+        ]
         notes = (
             "Trend checks: for both ops, Vc grows with input dimension and "
             "with R (contention serialization suppresses reordering at small "

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from ..runtime import RunContext
 from .base import Experiment, register
-from ._opruns import index_add_variability, scatter_reduce_variability
+from ._opruns import SweepCell, sweep_variability
 
 __all__ = ["Fig4VcVsRatio"]
 
@@ -33,11 +33,22 @@ class Fig4VcVsRatio(Experiment):
         }
 
     def _run(self, ctx: RunContext, params: dict):
+        # Configuration-axis batching: the ratio sweep's cells (sum, mean,
+        # index_add per ratio — the scalar loop's order) go through one
+        # sweep_variability call with plans built up front.
+        cells = [
+            SweepCell(*spec)
+            for r in params["ratios"]
+            for spec in (
+                ("scatter_reduce", params["sr_dim"], r, "sum"),
+                ("scatter_reduce", params["sr_dim"], r, "mean"),
+                ("index_add", params["ia_dim"], r),
+            )
+        ]
+        results = sweep_variability(cells, params["n_runs"], ctx)
         rows: list[dict] = []
-        for r in params["ratios"]:
-            sr_sum = scatter_reduce_variability(params["sr_dim"], r, "sum", params["n_runs"], ctx)
-            sr_mean = scatter_reduce_variability(params["sr_dim"], r, "mean", params["n_runs"], ctx)
-            ia = index_add_variability(params["ia_dim"], r, params["n_runs"], ctx)
+        for i, r in enumerate(params["ratios"]):
+            sr_sum, sr_mean, ia = results[3 * i : 3 * i + 3]
             rows.append(
                 {
                     "R": r,

@@ -42,6 +42,17 @@ axis never blows the memory budget at ``n = 10**6``
 :func:`iter_run_chunks`).  The scheduler side of the engine — sampling all
 ``R`` execution orders as one matrix under the same bit-exactness contract
 — lives in :class:`repro.gpusim.scheduler.WaveSchedulerBatch`.
+
+Beyond the fold matrices, the same engine batches the per-run *block*
+stage: :func:`block_partials_runs` evaluates every row's two-stage tile
+partials in lockstep (the block half of the run-batched reductions,
+:meth:`repro.reductions.base.ReductionImpl.sum_runs`), and
+:func:`repro.gpusim.atomics.batched_atomic_fold` accepts per-run ``(R,
+n)`` values for the combine stage.  The draw-order contracts these batched
+consumers rely on — including the single ``integers(len(chunk_ladder))``
+draw of ``cumsum``'s chunk ladder and the one-stream-per-solve sequence of
+the CG run batch — are catalogued in
+:mod:`repro.gpusim.scheduler`'s module docstring.
 """
 
 from __future__ import annotations
@@ -58,6 +69,7 @@ __all__ = [
     "pairwise_sum",
     "blocked_pairwise_sum",
     "block_partials",
+    "block_partials_runs",
     "tree_fold",
     "batched_tree_fold",
     "iter_run_chunks",
@@ -335,6 +347,71 @@ def block_partials(x, n_blocks: int, block_size: int | None = None) -> np.ndarra
         buf[:, :half] = buf[:, :half] + buf[:, half : 2 * half]
         half //= 2
     return buf[:, 0].copy()
+
+
+def block_partials_runs(
+    xs, n_blocks: int, block_size: int | None = None, *, chunk_runs: int | None = None
+) -> np.ndarray:
+    """Per-block tree partials of every row of an ``(R, n)`` matrix.
+
+    The batched :func:`block_partials` — one run per row, tiles of all runs
+    tree-reduced in lockstep.  Row ``r`` of the result is bit-identical to
+    ``block_partials(xs[r], n_blocks, block_size)``: same tiling, same
+    zero padding, same per-level halving adds.  This is the block stage of
+    the run-batched reductions (:meth:`repro.reductions.base.ReductionImpl.
+    sum_runs`) that the CG run batch folds its inner products through.
+
+    Parameters
+    ----------
+    xs:
+        ``(R, n)`` float matrix, one run per row.
+    n_blocks, block_size:
+        As in :func:`block_partials`.
+    chunk_runs:
+        Memory knob: rows staged per chunk (see :func:`iter_run_chunks`).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(R, n_blocks)`` partial sums, dtype preserved.
+    """
+    mat = np.asarray(xs)
+    if mat.ndim != 2:
+        raise ShapeError(f"expected a 2-D (runs, n) matrix, got shape {mat.shape}")
+    if mat.dtype.kind != "f":
+        mat = mat.astype(np.float64)
+    if n_blocks < 1:
+        raise ConfigurationError(f"n_blocks must be >= 1, got {n_blocks}")
+    n_runs, n = mat.shape
+    if block_size is None:
+        block_size = max(1, (n + n_blocks - 1) // n_blocks)
+    if block_size < 1:
+        raise ConfigurationError(f"block_size must be >= 1, got {block_size}")
+    if n_blocks * block_size < n:
+        raise ConfigurationError(
+            f"n_blocks*block_size = {n_blocks * block_size} cannot cover {n} elements"
+        )
+    p = 1 << (int(max(block_size - 1, 0)).bit_length() or 1)
+    if n_runs * n_blocks * p <= DEFAULT_RUN_CHUNK_ELEMENTS and chunk_runs is None:
+        spans = ((0, n_runs),)  # single chunk: skip the generator machinery
+    else:
+        spans = iter_run_chunks(n_runs, n_blocks * p, chunk_runs=chunk_runs)
+    out = np.empty((n_runs, n_blocks), dtype=mat.dtype)
+    for lo, hi in spans:
+        chunk = hi - lo
+        staged = np.zeros((chunk, n_blocks * block_size), dtype=mat.dtype)
+        staged[:, :n] = mat[lo:hi]
+        if p == block_size:
+            buf = staged.reshape(chunk, n_blocks, p)
+        else:
+            buf = np.zeros((chunk, n_blocks, p), dtype=mat.dtype)
+            buf[:, :, :block_size] = staged.reshape(chunk, n_blocks, block_size)
+        half = p // 2
+        while half >= 1:
+            buf[:, :, :half] = buf[:, :, :half] + buf[:, :, half : 2 * half]
+            half //= 2
+        out[lo:hi] = buf[:, :, 0]
+    return out
 
 
 def blocked_pairwise_sum(x, n_blocks: int, block_size: int | None = None) -> float:

@@ -47,14 +47,17 @@ def batched_atomic_fold(
     """Sequential IEEE folds of ``values`` in every row of ``orders``.
 
     The batched :func:`atomic_fold`: row ``r`` of the result is
-    bit-identical to ``atomic_fold(values, orders[r])``.  This is the fold
-    half of the batched run-axis engine — the order half is
+    bit-identical to ``atomic_fold(values, orders[r])`` (shared 1-D
+    values) or ``atomic_fold(values[r], orders[r])`` (per-run 2-D values —
+    the CG run batch, where every run folds its own partials).  This is
+    the fold half of the batched run-axis engine — the order half is
     :class:`repro.gpusim.scheduler.WaveSchedulerBatch`.
 
     Parameters
     ----------
     values:
-        ``(n,)`` summands (the fold runs in their dtype).
+        ``(n,)`` summands shared by all runs, or ``(R, n)`` per-run
+        summands (the fold runs in their dtype either way).
     orders:
         ``(R, n)`` retirement orders, one simulated run per row.
     chunk_runs:
@@ -69,19 +72,32 @@ def batched_atomic_fold(
     om = np.asarray(orders)
     if om.ndim != 2:
         raise SchedulerError(f"orders must be 2-D (runs, n), got shape {om.shape}")
-    if om.shape[1:] != arr.shape:
+    per_run = arr.ndim == 2
+    if per_run:
+        if arr.shape != om.shape:
+            raise SchedulerError(
+                f"per-run values shape {arr.shape} must match orders shape {om.shape}"
+            )
+    elif om.shape[1:] != arr.shape:
         raise SchedulerError(
             f"orders row shape {om.shape[1:]} does not match values shape {arr.shape}"
         )
-    n_runs = om.shape[0]
+    n_runs, n = om.shape
     out = np.empty(n_runs, dtype=np.float64)
-    if arr.size == 0:
+    if n == 0:
         out.fill(0.0)
         return out
     # The accumulate must run in the values' own dtype (bit-exactness with
     # the scalar fold); the buffer only elides R cumsum allocations.
-    buf = np.empty(arr.size, dtype=arr.dtype)
-    for lo, hi in iter_run_chunks(n_runs, arr.size, chunk_runs=chunk_runs):
+    buf = np.empty(n, dtype=arr.dtype)
+    if per_run:
+        # Per-run values: gather row-by-row (cheaper than building
+        # take_along_axis index grids for the small-R hot path).
+        for r in range(n_runs):
+            np.add.accumulate(arr[r][om[r]], out=buf)
+            out[r] = buf[-1]
+        return out
+    for lo, hi in iter_run_chunks(n_runs, n, chunk_runs=chunk_runs):
         gathered = arr[om[lo:hi]]
         for r in range(hi - lo):
             np.add.accumulate(gathered[r], out=buf)

@@ -9,6 +9,7 @@ waves, tile sizes).  The reduction implementations in
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 from ..errors import LaunchError
 from .device import DeviceSpec
@@ -70,9 +71,10 @@ class LaunchConfig:
         """Grid-wide thread count."""
         return self.n_blocks * self.threads_per_block
 
-    @property
+    @cached_property
     def resident_blocks(self) -> int:
-        """Blocks simultaneously resident (occupancy bound)."""
+        """Blocks simultaneously resident (occupancy bound; cached —
+        the batched schedulers read this on every launch)."""
         return resident_blocks(self.device, self.threads_per_block)
 
     @property

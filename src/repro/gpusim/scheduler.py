@@ -58,6 +58,32 @@ expand each warp to its (precomputed) lane-ordered element ids.
 
 ``tests/test_batched_engine.py`` pins the scalar↔batched equivalence
 bit-for-bit across devices, contentions and odd shapes.
+
+Draw contracts of the other batched run consumers
+-------------------------------------------------
+The one-stream-per-run rule generalises beyond this module; every batched
+path draws per run, in run order, exactly what its scalar twin draws:
+
+* **cumsum chunk ladder** (:func:`repro.ops.cumsum.cumsum_runs`) — each
+  run's stream contributes exactly one ``integers(len(chunk_ladder))``
+  draw selecting the blocked-scan chunk; the batch draws all ``R`` chunks
+  up front and evaluates one scan per *distinct* chunk.
+* **scatter/index raced segments**
+  (:meth:`repro.ops.segmented.SegmentPlan.sample_run_draws`) — per run:
+  the raced-target Bernoulli vector over the multiply-hit targets, then
+  one uniform key per position of every raced segment (ascending target,
+  then rank), consumed only when at least one target raced.
+* **OpenMP trials** (:meth:`repro.openmp.runtime.OpenMPRuntime.
+  reduce_many`) — per trial: the dynamic/guided schedule draws (static
+  draws nothing), then the ``permutation`` of the active thread partials.
+* **CG solves** (:mod:`repro.solvers.cg`) — one stream per
+  non-deterministic *solve*, drawn at solve start; every inner product of
+  that trajectory keeps consuming it (each launch's rotation/jitter draws
+  follow the per-launch sequence above).  The run batch pre-draws the
+  ``R`` solve streams in run order and threads them through
+  :meth:`repro.reductions.base.ReductionImpl.sum_runs` via explicit
+  ``rngs`` — which is why runs that converge early simply stop drawing
+  without perturbing their neighbours.
 """
 
 from __future__ import annotations
@@ -167,6 +193,19 @@ def _issue_template(nb: int, res: int) -> np.ndarray:
     return tmpl
 
 
+@lru_cache(maxsize=256)
+def _rolled_template(nb: int, res: int, rot: int) -> np.ndarray:
+    """Issue template rolled by one rotation mode (float32, read-only).
+
+    Rotations take at most ``num_gpcs`` distinct values per launch, so the
+    cache removes the per-call ``np.roll`` from the batched hot path; the
+    cached rows are bit-identical to the scalar path's ``np.roll``.
+    """
+    out = np.roll(_issue_template(nb, res), -rot)
+    out.setflags(write=False)
+    return out
+
+
 @lru_cache(maxsize=64)
 def _element_template(nb: int, tpb: int, warp: int) -> np.ndarray:
     """Element ids per (warp, lane) grid slot, sentinel-padded, read-only.
@@ -258,12 +297,18 @@ class WaveScheduler:
         if isinstance(rot, np.ndarray):
             if rot.size == 0:
                 return np.empty((0, nb), dtype=np.float32)
-            # Rotations take at most num_gpcs distinct values: materialise
-            # each rolled template once and gather rows (the rolled rows
-            # are bit-identical to the scalar path's np.roll).
-            distinct, inverse = np.unique(rot, return_inverse=True)
-            rolled = np.stack([np.roll(tmpl, -int(r)) for r in distinct])
-            issue = rolled[inverse]
+            # Rotations take at most num_gpcs distinct values: gather the
+            # cached rolled templates (bit-identical to the scalar path's
+            # np.roll).  Small batches fill rows directly; large ones
+            # dedupe first so the fill stays one vectorised gather.
+            if rot.size <= 64:
+                issue = np.empty((rot.size, nb), dtype=np.float32)
+                for i, r in enumerate(rot.tolist()):
+                    issue[i] = _rolled_template(nb, res, int(r))
+            else:
+                distinct, inverse = np.unique(rot, return_inverse=True)
+                rolled = np.stack([_rolled_template(nb, res, int(r)) for r in distinct])
+                issue = rolled[inverse]
         elif rot:
             issue = np.roll(tmpl, -rot)
         else:
@@ -406,6 +451,8 @@ class WaveSchedulerBatch:
         Validated launch configuration (shared by all runs).
     ctx:
         Run context supplying one scheduler stream per simulated run.
+        May be ``None`` when every order request passes explicit ``rngs``
+        (the run-batched reductions' persistent-stream mode).
     params:
         Model knobs; resolved exactly like :class:`WaveScheduler`.
     chunk_runs:
@@ -429,58 +476,71 @@ class WaveSchedulerBatch:
         # Borrow the scalar transform helpers so both paths share one
         # definition of the model arithmetic.
         self._proto = WaveScheduler(launch, rng=None, params=self.params)
+        # Per-launch draw invariants, hoisted out of the per-call loop (the
+        # run-batched reductions sample thousands of small batches).
+        dev = launch.device
+        self._num_gpcs = dev.num_gpcs
+        self._per_gpc = max(1, launch.resident_blocks // dev.num_gpcs)
+        self._mod = max(launch.n_blocks, 1)
 
     # ------------------------------------------------------------------ draws
     def _draw_block_inputs(
-        self, n_runs: int, sigma: float
+        self, n_runs: int, sigma: float, rngs: list[np.random.Generator] | None = None
     ) -> tuple[np.ndarray, np.ndarray | None, list[np.random.Generator]]:
         """Consume ``n_runs`` scheduler streams, mirroring the scalar draw
-        order: rotation first, then the block vector."""
+        order: rotation first, then the block vector.
+
+        ``rngs`` supplies explicit per-run generators instead of fresh
+        context streams — the run-batched reductions' mode, where each
+        simulated run owns one stream for its whole launch *sequence* (the
+        CG draw contract) and every launch continues consuming it.
+        """
         nb = self.launch.n_blocks
         proto = self._proto
         need_u = proto._needs_block_draw(sigma, nb)
         u = np.empty((n_runs, nb), dtype=np.float32) if need_u else None
-        rngs: list[np.random.Generator] = []
-        dev = self.launch.device
-        num_gpcs = dev.num_gpcs
-        per_gpc = max(1, self.launch.resident_blocks // num_gpcs)
-        mod = max(nb, 1)
+        num_gpcs, per_gpc, mod = self._num_gpcs, self._per_gpc, self._mod
         rotate = self.params.rotation
-        scheduler = self.ctx.scheduler
-        append = rngs.append
         f32 = np.float32
         rot_list = [0] * n_runs
+        if rngs is None:
+            if self.ctx is None:
+                raise SchedulerError("WaveSchedulerBatch needs a ctx or explicit rngs")
+            scheduler = self.ctx.scheduler
+            rngs = [scheduler() for _ in range(n_runs)]
+        elif len(rngs) != n_runs:
+            raise SchedulerError(f"expected {n_runs} rngs, got {len(rngs)}")
         for r in range(n_runs):
-            rng = scheduler()
-            append(rng)
+            rng = rngs[r]
             if rotate:
                 rot_list[r] = _sample_rotation(rng, num_gpcs, per_gpc, mod)
             if need_u:
                 rng.random(out=u[r], dtype=f32)
-        return np.asarray(rot_list, dtype=np.int64), u, rngs
+        return np.asarray(rot_list, dtype=np.int64), u, list(rngs)
 
     # ------------------------------------------------------------------ waves
     def block_arrival_times_batch(
-        self, n_runs: int, contention: float = 0.0
+        self, n_runs: int, contention: float = 0.0, *, rngs=None
     ) -> np.ndarray:
         """``(n_runs, n_blocks)`` float32 arrival times, one run per row.
 
         Row ``r`` is bit-identical to
         ``WaveScheduler(launch, ctx.scheduler(), params).block_arrival_times(contention)``
-        for the ``r``-th stream of the same context.
+        for the ``r``-th stream of the same context — or, with explicit
+        ``rngs``, for ``WaveScheduler(launch, rngs[r], params)``.
         """
         if n_runs < 0:
             raise SchedulerError(f"n_runs must be >= 0, got {n_runs}")
         proto = self._proto
         sigma = proto._effective_jitter(self.params.block_jitter, contention)
-        rots, u, _ = self._draw_block_inputs(n_runs, sigma)
+        rots, u, _ = self._draw_block_inputs(n_runs, sigma, rngs)
         return proto._block_times_from(rots, u, contention)
 
     def block_completion_orders(
-        self, n_runs: int, contention: float = 0.0
+        self, n_runs: int, contention: float = 0.0, *, rngs=None
     ) -> np.ndarray:
         """``(n_runs, n_blocks)`` block completion orders, one run per row."""
-        times = self.block_arrival_times_batch(n_runs, contention)
+        times = self.block_arrival_times_batch(n_runs, contention, rngs=rngs)
         return np.argsort(times, axis=-1)
 
     # ---------------------------------------------------------------- threads

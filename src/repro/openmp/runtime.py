@@ -164,9 +164,9 @@ class OpenMPRuntime:
             return self._reduce_threads(arr)
         return self._reduce_simulated(arr)
 
-    def _reduce_simulated(self, arr: np.ndarray) -> float:
-        rng = (self.ctx or get_context()).scheduler()
-        assign = self.assignment(arr.size, rng)
+    def _thread_partials(self, assign: _Assignment, arr: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Per-thread private partials for one assignment (chunks folded
+        serially in claim order); returns ``(partials, touched)``."""
         partials = np.zeros(self.num_threads, dtype=np.float64)
         touched = np.zeros(self.num_threads, dtype=bool)
         for t, s, e in assign.chunks:
@@ -175,9 +175,58 @@ class OpenMPRuntime:
                 np.concatenate(([partials[t]], arr[s:e]))
             )[-1]
             touched[t] = True
+        return partials, touched
+
+    def _reduce_simulated(self, arr: np.ndarray) -> float:
+        rng = (self.ctx or get_context()).scheduler()
+        assign = self.assignment(arr.size, rng)
+        partials, touched = self._thread_partials(assign, arr)
         active = np.flatnonzero(touched)
         order = rng.permutation(active.size)
         return float(np.add.accumulate(partials[active][order])[-1]) if active.size else 0.0
+
+    def _reduce_simulated_runs(self, arr: np.ndarray, n_runs: int) -> np.ndarray:
+        """Batched run-axis engine for the simulated backend (Table 3).
+
+        One scheduler stream per trial, in trial order — the per-trial draw
+        sequence (schedule draws, then the combine permutation) is exactly
+        the scalar :meth:`_reduce_simulated`'s, so every trial is
+        bit-identical to a scalar loop on the same context.  Static
+        schedules have a run-invariant iteration→thread mapping, so the
+        thread partials are folded **once** and only the combine orders are
+        sampled per trial, folded batched via
+        :func:`~repro.gpusim.atomics.batched_atomic_fold`.  Dynamic/guided
+        schedules re-fold partials per trial (the mapping itself is
+        schedule-dependent) but still batch the combine.
+        """
+        from ..gpusim.atomics import batched_atomic_fold
+
+        ctx = self.ctx or get_context()
+        if self.schedule is Schedule.STATIC:
+            assign = self.assignment(arr.size)
+            partials, touched = self._thread_partials(assign, arr)
+            active = np.flatnonzero(touched)
+            k = active.size
+            orders = np.empty((n_runs, k), dtype=np.int64)
+            for r in range(n_runs):
+                rng = ctx.scheduler()
+                orders[r] = rng.permutation(k)
+            if k == 0:
+                return np.zeros(n_runs, dtype=np.float64)
+            return batched_atomic_fold(partials[active], orders)
+        out = np.empty(n_runs, dtype=np.float64)
+        for r in range(n_runs):
+            rng = ctx.scheduler()
+            assign = self.assignment(arr.size, rng)
+            partials, touched = self._thread_partials(assign, arr)
+            active = np.flatnonzero(touched)
+            order = rng.permutation(active.size)
+            out[r] = (
+                float(np.add.accumulate(partials[active][order])[-1])
+                if active.size
+                else 0.0
+            )
+        return out
 
     def _reduce_threads(self, arr: np.ndarray) -> float:
         assign = self.assignment(arr.size)
@@ -209,9 +258,23 @@ class OpenMPRuntime:
 
     # ---------------------------------------------------------------- other
     def reduce_many(self, array, n_trials: int, *, ordered: bool = False) -> np.ndarray:
-        """Run :meth:`reduce_sum` ``n_trials`` times (the Table 3 loop)."""
+        """Run :meth:`reduce_sum` ``n_trials`` times (the Table 3 loop).
+
+        The simulated backend executes all trials through the batched
+        run-axis engine (:meth:`_reduce_simulated_runs`) — bit-identical,
+        trial for trial, to looping :meth:`reduce_sum` on the same context,
+        but folding the run-invariant work (thread partials under a static
+        schedule; the whole array under ``ordered``) only once.
+        """
         if n_trials < 1:
             raise ConfigurationError(f"n_trials must be >= 1, got {n_trials}")
-        return np.array(
-            [self.reduce_sum(array, ordered=ordered) for _ in range(n_trials)]
-        )
+        arr = np.asarray(array, dtype=np.float64)
+        if arr.ndim != 1:
+            raise ConfigurationError(f"expected 1-D input, got shape {arr.shape}")
+        if ordered:
+            # The ordered construct is a strict serial fold with no
+            # scheduler randomness: every trial is the same value.
+            return np.full(n_trials, serial_sum(arr), dtype=np.float64)
+        if self.backend == "threads":
+            return np.array([self._reduce_threads(arr) for _ in range(n_trials)])
+        return self._reduce_simulated_runs(arr, n_trials)

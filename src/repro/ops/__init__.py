@@ -27,7 +27,7 @@ from .nondet import ContentionModel, OP_CONTENTION
 from .registry import OpSpec, op_spec, all_op_specs, documented_nondeterministic_ops
 from .scatter import scatter, scatter_reduce, scatter_reduce_runs
 from .index_ops import index_add, index_add_runs, index_copy, index_put
-from .cumsum import cumsum
+from .cumsum import cumsum, cumsum_runs
 from .conv_transpose import (
     conv_transpose1d,
     conv_transpose2d,
@@ -53,6 +53,7 @@ __all__ = [
     "index_copy",
     "index_put",
     "cumsum",
+    "cumsum_runs",
     "conv_transpose1d",
     "conv_transpose2d",
     "conv_transpose3d",

@@ -93,15 +93,18 @@ def index_add_runs(
     model: ContentionModel | None = None,
     ctx: RunContext | None = None,
     chunk_runs: int | None = None,
-) -> list[np.ndarray]:
+    stacked: bool = False,
+):
     """``n_runs`` non-deterministic :func:`index_add` executions.
 
     The batched run-axis engine for the Table 5 / Figs 3–5 sweeps: the
     per-run randomness (raced-target Bernoulli + segment shuffle, one
     scheduler stream per run) is drawn exactly like ``n_runs`` scalar
-    calls, while the per-target folds run batched through
-    :meth:`SegmentPlan.fold_runs`.  Each returned array is bit-identical to
-    the corresponding scalar ``index_add(..., deterministic=False)`` call.
+    calls, while the per-target folds run through the contention-sparse
+    :meth:`SegmentPlan.fold_runs_sparse`.  Each returned array is
+    bit-identical to the corresponding scalar
+    ``index_add(..., deterministic=False)`` call.  ``stacked=True``
+    returns one ``(n_runs, *out_shape)`` array instead of a list.
     """
     inp, idx, src = _validate(input_, index, source, dim)
     if plan is None:
@@ -115,6 +118,7 @@ def index_add_runs(
         init=inp,
         chunk_runs=chunk_runs,
         finalize=lambda folded: folded.astype(inp.dtype, copy=False),
+        stacked=stacked,
     )
 
 

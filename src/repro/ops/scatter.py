@@ -145,16 +145,19 @@ def scatter_reduce_runs(
     model: ContentionModel | None = None,
     ctx: RunContext | None = None,
     chunk_runs: int | None = None,
-) -> list[np.ndarray]:
+    stacked: bool = False,
+):
     """``n_runs`` non-deterministic :func:`scatter_reduce` executions.
 
     The batched run-axis engine for the Table 5 / Figs 3–5 sweeps: per-run
     randomness is drawn exactly like ``n_runs`` scalar calls (one scheduler
     stream per run — raced-target Bernoulli then segment shuffle), while
-    the segmented folds and the post-fold arithmetic are evaluated for all
-    runs at once via :meth:`SegmentPlan.fold_runs`.  Each returned array is
+    the segmented folds run through the contention-sparse
+    :meth:`SegmentPlan.fold_runs_sparse` (canonical fold shared, only the
+    raced segments re-folded per run).  Each returned array is
     bit-identical to the corresponding scalar
-    ``scatter_reduce(..., deterministic=False)`` call.
+    ``scatter_reduce(..., deterministic=False)`` call.  ``stacked=True``
+    returns one ``(n_runs, *out_shape)`` array instead of a list.
     """
     if reduce not in _REDUCES:
         raise ConfigurationError(f"unknown reduce {reduce!r}; choose from {_REDUCES}")
@@ -171,6 +174,7 @@ def scatter_reduce_runs(
         finalize=lambda folded: _finalize_scatter_reduce(
             folded, inp, plan, reduce, include_self, s.ndim - 1
         ),
+        stacked=stacked,
     )
 
 

@@ -54,6 +54,96 @@ _UFUNC = {
 _FOLD_LOOP_MAX_K = 256
 
 
+def _stratified_refold(
+    *,
+    seg_start: np.ndarray,
+    seg_count: np.ndarray,
+    seg_pad: np.ndarray,
+    pos_off: np.ndarray,
+    keys: np.ndarray,
+    order: np.ndarray,
+    vals: np.ndarray,
+    init_rows: np.ndarray | None,
+    ufunc: np.ufunc,
+    identity,
+) -> np.ndarray:
+    """Bit-exact re-fold of an arbitrary batch of raced segments.
+
+    The single definition of the engine's stratified fold, shared by
+    :meth:`SegmentPlan.fold_runs_sparse` (one plan) and the sweep
+    harness's pooled column folds (many plans concatenated).  Segments are
+    stratified by contribution count ``k`` — a ``(n_k, k + 1 + pad)`` fold
+    matrix and one small axis-1 stable argsort per stratum instead of one
+    ``k_max``-wide matrix and a global lexsort.  Bit-exactness: (a) a
+    stable within-segment key sort performs exactly the comparisons the
+    scalar path's ``lexsort((keys, targets))`` performs inside each
+    segment; (b) for padded segments one trailing identity slot stands in
+    for however many identity pads the scalar fold appends — folding the
+    identity once is equivalent to folding it any number of times for
+    every supported reduce (``x + 0.0`` normalises ``-0.0`` on the first
+    add and is then a fixed point; ``* 1.0`` and ``max/min`` with
+    ``+-inf`` are fixed points outright).
+
+    Parameters
+    ----------
+    seg_start:
+        ``(S,)`` start position of each segment's span in ``order``.
+    seg_count:
+        ``(S,)`` contribution count ``k`` of each segment.
+    seg_pad:
+        ``(S,)`` bool: segment is below its plan's ``k_max`` (the scalar
+        fold pads it), so its stratum carries one trailing identity slot.
+    pos_off:
+        ``(S,)`` offset of each segment's keys in ``keys``.
+    keys:
+        Concatenated shuffle keys, segment-major in rank order.
+    order:
+        Source ids in canonical (target, rank) order; segment spans index
+        into it.
+    vals:
+        ``(n_sources, *payload)`` contributions in the fold dtype.
+    init_rows:
+        Optional ``(S, *payload)`` slot-0 (include-self) values.
+    ufunc, identity:
+        The reduce's fold operator and identity element.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(S, *payload)`` folded segment values.
+    """
+    payload = vals.shape[1:]
+    dtype = vals.dtype
+    folded = np.empty((seg_count.size,) + payload, dtype=dtype)
+    for k in np.unique(seg_count):
+        k = int(k)
+        in_k = seg_count == k
+        for pad in (False, True):
+            sel = np.flatnonzero(in_k & (seg_pad == pad))
+            if not sel.size:
+                continue
+            lane = np.arange(k)
+            src_k = order[seg_start[sel, None] + lane]
+            keys_k = keys[pos_off[sel, None] + lane]
+            if k == 2:
+                # Stable sort of two keys: swap iff the second strictly
+                # wins.
+                swap = keys_k[:, 1] < keys_k[:, 0]
+                if swap.any():
+                    src_k[swap] = src_k[swap, ::-1]
+            else:
+                src_k = np.take_along_axis(
+                    src_k, np.argsort(keys_k, axis=1, kind="stable"), axis=1
+                )
+            width = k + 1 + (1 if pad else 0)
+            mat = np.full((sel.size, width) + payload, identity, dtype=dtype)
+            if init_rows is not None:
+                mat[:, 0] = init_rows[sel]
+            mat[:, 1 : k + 1] = vals[src_k]
+            folded[sel] = _fold_axis(mat, ufunc, axis=1)
+    return folded
+
+
 def _fold_axis(mat: np.ndarray, ufunc: np.ufunc, axis: int) -> np.ndarray:
     """Left fold of ``mat`` along ``axis``, bit-identical to
     ``ufunc.accumulate(mat, axis=axis)`` sliced at the last position."""
@@ -65,7 +155,9 @@ def _fold_axis(mat: np.ndarray, ufunc: np.ufunc, axis: int) -> np.ndarray:
     acc = mat[tuple(sl)].copy()
     for i in range(1, k):
         sl[axis] = i
-        acc = ufunc(acc, mat[tuple(sl)])
+        # In-place: ufunc(a, b, out=a) computes the identical IEEE result
+        # without allocating a fresh accumulator per step.
+        ufunc(acc, mat[tuple(sl)], out=acc)
     return acc
 
 
@@ -193,6 +285,35 @@ class SegmentPlan:
             )
             orders[r] = self.source_order(raced, rng)
         return orders
+
+    def sample_run_draws(self, n_runs: int, model, ctx) -> list[tuple[np.ndarray, np.ndarray | None]]:
+        """Draw ``n_runs`` runs' raced targets and shuffle keys — the
+        sparse front end of :meth:`fold_runs_sparse`.
+
+        Consumes exactly the RNG sequence of :meth:`sample_orders` (one
+        scheduler stream per run, in run order: raced-target Bernoulli,
+        then one uniform key per position of every raced segment, in
+        ascending target-then-rank order), but returns the raw draws
+        instead of materialising ``(n_runs, n_sources)`` order matrices.
+        """
+        draws: list[tuple[np.ndarray, np.ndarray | None]] = []
+        # The race probability is run-invariant: hoist it so the per-run
+        # loop only performs the contracted draws (the Bernoulli compare
+        # below is exactly ContentionModel.sample_raced's).
+        q = model.race_probability(self.n_sources, self.n_targets)
+        mt = self.multi_targets
+        mt_counts = self.counts[mt]
+        scheduler = ctx.scheduler
+        for _ in range(n_runs):
+            rng = scheduler()
+            if q <= 0.0 or mt.size == 0:
+                draws.append((mt[:0], None))
+                continue
+            mask = rng.random(mt.size) < q
+            raced = mt[mask]
+            keys = rng.random(int(np.dot(mt_counts, mask))) if raced.size else None
+            draws.append((raced, keys))
+        return draws
 
     # ----------------------------------------------------------------- fold
     def fold(
@@ -343,6 +464,108 @@ class SegmentPlan:
             out[lo:hi] = _fold_axis(mat, ufunc, axis=2)
         return out
 
+    def fold_runs_sparse(
+        self,
+        values: np.ndarray,
+        draws: list[tuple[np.ndarray, np.ndarray | None]],
+        *,
+        reduce: str = "sum",
+        init: np.ndarray | None = None,
+        canonical: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Contention-sparse batched fold: re-fold only the raced segments.
+
+        A run's fold differs from the canonical fold **only** at the
+        targets that raced that run, so the batch is evaluated as one
+        canonical fold (shared by every run) plus one fold-matrix pass over
+        the union of all runs' raced segments.  Bit-identical per run to
+        :meth:`fold` with the order :meth:`source_order` would build from
+        the same draws: raced rows use the same ``k_max + 1`` fold width,
+        the same identity padding and the same stable within-segment key
+        sort as the scalar lexsort, and un-raced rows are byte-copies of
+        the canonical rows.  Because race probabilities are well below one
+        in the calibrated contention models, this does a small fraction of
+        the dense :meth:`fold_runs` work.
+
+        Parameters
+        ----------
+        values:
+            ``(n_sources, *payload)`` contributions, shared by all runs.
+        draws:
+            Per-run ``(raced_targets, keys)`` pairs from
+            :meth:`sample_run_draws`.
+        reduce, init:
+            As in :meth:`fold`.
+        canonical:
+            Precomputed ``self.fold(values, reduce=reduce, init=init)``
+            (computed here when omitted; pass it when folding several
+            chunks of one run batch).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(len(draws), n_targets, *payload)`` folded values.
+        """
+        if reduce not in _UFUNC:
+            raise ConfigurationError(
+                f"unknown reduce {reduce!r}; choose from {sorted(_UFUNC)}"
+            )
+        vals = np.asarray(values)
+        if vals.shape[:1] != (self.n_sources,):
+            raise ShapeError(
+                f"values first axis must be n_sources={self.n_sources}, "
+                f"got shape {vals.shape}"
+            )
+        if canonical is None:
+            canonical = self.fold(vals, reduce=reduce, init=init)
+        n_runs = len(draws)
+        out = np.empty((n_runs,) + canonical.shape, dtype=canonical.dtype)
+        out[:] = canonical
+        seg_t_parts: list[np.ndarray] = []
+        seg_r_parts: list[np.ndarray] = []
+        key_parts: list[np.ndarray] = []
+        for r, (raced, keys) in enumerate(draws):
+            if raced.size:
+                seg_t_parts.append(raced)
+                seg_r_parts.append(np.full(raced.size, r, dtype=np.int64))
+                key_parts.append(keys)
+        if not seg_t_parts:
+            return out
+        seg_targets = np.concatenate(seg_t_parts)
+        seg_runs = np.concatenate(seg_r_parts)
+        keys = np.concatenate(key_parts)
+        seg_counts = self.counts[seg_targets]
+        n_seg = seg_targets.size
+        # Key offsets: keys are concatenated in (run, target, rank) order,
+        # so segment s's keys span [pos_off[s], pos_off[s] + count).
+        pos_off = np.zeros(n_seg, dtype=np.int64)
+        np.cumsum(seg_counts[:-1], out=pos_off[1:])
+        payload = vals.shape[1:]
+        dtype = vals.dtype if np.issubdtype(vals.dtype, np.floating) else np.float64
+        ufunc = _UFUNC[reduce]
+        identity = np.asarray(_IDENTITY[reduce], dtype=dtype)[()]
+        init_arr = None
+        if init is not None:
+            init_arr = np.asarray(init, dtype=dtype)
+            if init_arr.shape != (self.n_targets,) + payload:
+                raise ShapeError(
+                    f"init shape {init_arr.shape} != {(self.n_targets,) + payload}"
+                )
+        folded = _stratified_refold(
+            seg_start=self.segment_starts[seg_targets],
+            seg_count=seg_counts,
+            seg_pad=seg_counts < self.k_max,
+            pos_off=pos_off,
+            keys=keys,
+            order=self.order,
+            vals=vals.astype(dtype, copy=False),
+            init_rows=None if init_arr is None else init_arr[seg_targets],
+            ufunc=ufunc,
+            identity=identity,
+        )
+        out[seg_runs, seg_targets] = folded
+        return out
+
 
 def sampled_fold_runs(
     plan: SegmentPlan,
@@ -355,30 +578,50 @@ def sampled_fold_runs(
     init: np.ndarray | None = None,
     chunk_runs: int | None = None,
     finalize=None,
-) -> list[np.ndarray]:
+    stacked: bool = False,
+):
     """Chunked sample→fold→emit loop shared by the batched scatter/index ops.
 
-    Samples each chunk's orders (one scheduler stream per run, in run
-    order — chunk boundaries are invisible to the RNG contract), folds
-    them via :meth:`SegmentPlan.fold_runs`, applies ``finalize`` to the
-    chunk batch (elementwise post-fold arithmetic, so per-run bits are
-    unaffected), and emits per-run **copies** so neither the orders matrix
+    Samples each chunk's raced-segment draws (one scheduler stream per
+    run, in run order — chunk boundaries are invisible to the RNG
+    contract), folds them via the contention-sparse
+    :meth:`SegmentPlan.fold_runs_sparse` (one shared canonical fold plus a
+    re-fold of just the raced segments), applies ``finalize`` to the chunk
+    batch (elementwise post-fold arithmetic, so per-run bits are
+    unaffected), and emits per-run **copies** so neither the draw buffers
     nor the fold batch outlives its chunk and a retained single run never
-    pins a whole batch in memory.
+    pins a whole batch in memory.  With ``stacked=True`` the runs are
+    returned as one ``(n_runs, n_targets, *payload)`` array instead (the
+    sweep harness' layout — fed straight into the vectorised variability
+    summaries).
     """
     from ..fp.summation import iter_run_chunks
 
     vals = np.asarray(values)
     payload = int(np.prod(vals.shape[1:], dtype=np.int64) or 1)
     elems_per_run = plan.n_targets * payload * (plan.k_max + 1)
+    canonical = plan.fold(vals, reduce=reduce, init=init)
     outs: list[np.ndarray] = []
+    batch: np.ndarray | None = None
     for lo, hi in iter_run_chunks(n_runs, elems_per_run, chunk_runs=chunk_runs):
-        orders = plan.sample_orders(hi - lo, model, ctx)
-        folded = plan.fold_runs(vals, orders, reduce=reduce, init=init)
+        draws = plan.sample_run_draws(hi - lo, model, ctx)
+        folded = plan.fold_runs_sparse(
+            vals, draws, reduce=reduce, init=init, canonical=canonical
+        )
         if finalize is not None:
             folded = finalize(folded)
-        outs.extend(np.array(folded[r]) for r in range(hi - lo))
-    return outs
+        if stacked:
+            if batch is None:
+                batch = np.empty((n_runs,) + folded.shape[1:], dtype=folded.dtype)
+            batch[lo:hi] = folded
+        else:
+            outs.extend(np.array(folded[r]) for r in range(hi - lo))
+    if not stacked:
+        return outs
+    if batch is None:  # n_runs == 0: preserve the post-finalize shape/dtype
+        probe = canonical[None][:0]
+        return probe if finalize is None else finalize(probe)
+    return batch
 
 
 def segmented_fold(

@@ -106,17 +106,91 @@ class ReductionImpl(abc.ABC):
 
     __call__ = sum
 
+    # ----------------------------------------------------------- run batch
+    def sum_runs(
+        self,
+        xs,
+        *,
+        ctx: RunContext | None = None,
+        rngs: list[np.random.Generator] | None = None,
+    ) -> np.ndarray:
+        """Batched run-axis sums: one simulated run per row of ``xs``.
+
+        Row ``r`` of the result is bit-identical to
+        ``self.sum(xs[r], rng=rngs[r])``.  When ``rngs`` is omitted, a
+        non-deterministic strategy draws one fresh scheduler stream per
+        run, in run order (the engine-wide contract); passing explicit
+        ``rngs`` lets a caller thread *persistent* per-run streams through
+        repeated batched sums — the CG run batch, where each solve is one
+        simulated run whose stream every inner product keeps consuming.
+        Deterministic strategies consume no randomness either way.
+
+        Parameters
+        ----------
+        xs:
+            ``(R, n)`` matrix, one run's summands per row (all runs share
+            one launch geometry, derived from ``n``).
+        ctx:
+            Run context supplying fresh streams when ``rngs`` is omitted.
+        rngs:
+            Optional per-run generators (non-deterministic strategies).
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(R,)`` float64 sums.
+        """
+        mat = np.asarray(xs)
+        if mat.ndim != 2:
+            raise ConfigurationError(f"expected 2-D (runs, n) input, got shape {mat.shape}")
+        if mat.dtype.kind != "f":
+            mat = mat.astype(np.float64)
+        n_runs, n = mat.shape
+        if rngs is not None and len(rngs) != n_runs:
+            raise ConfigurationError(f"expected {n_runs} rngs, got {len(rngs)}")
+        if n == 0:
+            return np.zeros(n_runs, dtype=np.float64)
+        if not self.properties.deterministic and rngs is None:
+            c = ctx or get_context()
+            rngs = [c.scheduler() for _ in range(n_runs)]
+        return self._reduce_runs(mat, self._launch_for(n), rngs)
+
+    def _reduce_runs(
+        self,
+        mat: np.ndarray,
+        launch: LaunchConfig,
+        rngs: list[np.random.Generator] | None,
+    ) -> np.ndarray:
+        """Default run-batch: loop the scalar :meth:`_reduce` per row
+        (bit-exact by construction).  Strategies with a vectorised batch
+        path override this."""
+        out = np.empty(mat.shape[0], dtype=np.float64)
+        for r in range(mat.shape[0]):
+            sched = None
+            if not self.properties.deterministic:
+                sched = WaveScheduler(launch, rngs[r], self.scheduler_params)
+            out[r] = self._reduce(mat[r], launch, sched)
+        return out
+
     # ------------------------------------------------------------ internals
     def _launch_for(self, n: int) -> LaunchConfig:
-        tpb = self.threads_per_block
-        nb = self.n_blocks if self.n_blocks is not None else (n + tpb - 1) // tpb
-        nb = max(1, nb)
-        return LaunchConfig(
-            device=self.device,
-            n_blocks=nb,
-            threads_per_block=tpb,
-            shared_mem_bytes=min(tpb * 8, self.device.shared_mem_per_block),
-        )
+        # Memoised per input size: the run-batched solvers evaluate
+        # thousands of same-shape sums, and launch validation/occupancy
+        # would otherwise dominate the per-call cost.
+        cache: dict[int, LaunchConfig] = self.__dict__.setdefault("_launch_cache", {})
+        launch = cache.get(n)
+        if launch is None:
+            tpb = self.threads_per_block
+            nb = self.n_blocks if self.n_blocks is not None else (n + tpb - 1) // tpb
+            nb = max(1, nb)
+            launch = LaunchConfig(
+                device=self.device,
+                n_blocks=nb,
+                threads_per_block=tpb,
+                shared_mem_bytes=min(tpb * 8, self.device.shared_mem_per_block),
+            )
+            cache[n] = launch
+        return launch
 
     @abc.abstractmethod
     def _reduce(self, arr: np.ndarray, launch: LaunchConfig, sched: WaveScheduler | None) -> float:

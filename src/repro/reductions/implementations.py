@@ -24,10 +24,16 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..fp.summation import block_partials, serial_sum, tree_fold
-from ..gpusim.atomics import RetirementCounter, atomic_fold
+from ..fp.summation import (
+    batched_tree_fold,
+    block_partials,
+    block_partials_runs,
+    serial_sum,
+    tree_fold,
+)
+from ..gpusim.atomics import RetirementCounter, atomic_fold, batched_atomic_fold
 from ..gpusim.kernel import LaunchConfig
-from ..gpusim.scheduler import WaveScheduler
+from ..gpusim.scheduler import WaveScheduler, WaveSchedulerBatch
 from ..gpusim.stream import Stream
 from .base import ReductionImpl, ReductionProperties
 
@@ -92,6 +98,25 @@ class SinglePassAtomic(ReductionImpl):
         order = sched.block_completion_order(contention=self.contention)
         return atomic_fold(partials, order)
 
+    def _reduce_runs(self, mat, launch, rngs):
+        # Batched run axis: per-run block partials tree-reduced in
+        # lockstep, completion orders sampled as one matrix (each run's
+        # rotation + jitter drawn from its own stream, in run order), and
+        # the combine folded batched — bit-identical per row to _reduce.
+        # The batch scheduler is memoised per launch shape: CG consumes two
+        # batched sums per iteration, thousands per solve.
+        cache = self.__dict__.setdefault("_batch_sched_cache", {})
+        key = (launch.n_blocks, launch.threads_per_block)
+        batch = cache.get(key)
+        if batch is None:
+            batch = WaveSchedulerBatch(launch, None, self.scheduler_params)
+            cache[key] = batch
+        partials = block_partials_runs(mat, launch.n_blocks)
+        orders = batch.block_completion_orders(
+            mat.shape[0], contention=self.contention, rngs=rngs
+        )
+        return batched_atomic_fold(partials, orders)
+
 
 class SinglePassTreeReduction(ReductionImpl):
     """SPTR: per-block tree + last-block tree combine.
@@ -116,6 +141,12 @@ class SinglePassTreeReduction(ReductionImpl):
         am_last = [counter.retire(b) for b in range(launch.n_blocks)]
         assert am_last[-1] and counter.retired == launch.n_blocks
         return tree_fold(partials)
+
+    def _reduce_runs(self, mat, launch, rngs):
+        # Deterministic batch: per-run partials + tree combine in lockstep
+        # (the retirement-counter bookkeeping carries no arithmetic).
+        partials = block_partials_runs(mat, launch.n_blocks)
+        return batched_tree_fold(partials)
 
 
 class SinglePassRecursiveGPU(ReductionImpl):

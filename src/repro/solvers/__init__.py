@@ -9,6 +9,18 @@ of the :mod:`repro.reductions` strategies, so the accumulation effect can
 be measured directly.
 """
 
-from .cg import CGResult, conjugate_gradient, iterate_divergence, spd_test_matrix
+from .cg import (
+    CGResult,
+    conjugate_gradient,
+    conjugate_gradient_runs,
+    iterate_divergence,
+    spd_test_matrix,
+)
 
-__all__ = ["CGResult", "conjugate_gradient", "iterate_divergence", "spd_test_matrix"]
+__all__ = [
+    "CGResult",
+    "conjugate_gradient",
+    "conjugate_gradient_runs",
+    "iterate_divergence",
+    "spd_test_matrix",
+]

@@ -1,4 +1,17 @@
-"""Shared fixtures: isolated run contexts and clean determinism state."""
+"""Shared fixtures: isolated run contexts, clean determinism state, and the
+``slow``/``bench`` marker split.
+
+Markers
+-------
+``slow``
+    Long-running property sweeps; skipped by default, enabled with
+    ``--runslow`` (CI's full job passes it; the quick tier-1 loop does not
+    need to).
+``bench``
+    Tests whose primary output is a timing (the ``benchmarks/`` suite uses
+    pytest-benchmark; unit-level timing checks here carry this marker so
+    ``-m "not bench"`` gives a pure-correctness run).
+"""
 
 from __future__ import annotations
 
@@ -7,6 +20,29 @@ import pytest
 
 import repro
 from repro.runtime import RunContext
+
+
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--runslow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (long property sweeps)",
+    )
+
+
+def pytest_configure(config) -> None:
+    config.addinivalue_line("markers", "slow: long-running test (needs --runslow)")
+    config.addinivalue_line("markers", "bench: timing-focused test")
+
+
+def pytest_collection_modifyitems(config, items) -> None:
+    if config.getoption("--runslow"):
+        return
+    skip_slow = pytest.mark.skip(reason="slow test: pass --runslow to run")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)
 
 
 @pytest.fixture()

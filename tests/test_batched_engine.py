@@ -11,9 +11,11 @@ algorithms, dtypes (f32/f64) and odd sizes (0, 1, non-powers-of-two).
 import numpy as np
 import pytest
 
-from repro.errors import SchedulerError, ShapeError
+from repro.errors import ConfigurationError, SchedulerError, ShapeError
 from repro.fp.summation import (
     batched_tree_fold,
+    block_partials,
+    block_partials_runs,
     iter_run_chunks,
     permuted_sum,
     permuted_sums,
@@ -27,17 +29,22 @@ from repro.gpusim import (
     batched_atomic_fold,
     get_device,
 )
+from repro.openmp import OpenMPRuntime
 from repro.ops import (
     conv_transpose1d,
     conv_transpose2d,
     conv_transpose_runs,
+    cumsum,
+    cumsum_runs,
     index_add,
     index_add_runs,
     scatter_reduce,
     scatter_reduce_runs,
 )
 from repro.ops.segmented import SegmentPlan
+from repro.reductions import get_reduction
 from repro.runtime import RunContext
+from repro.solvers import conjugate_gradient, conjugate_gradient_runs, spd_test_matrix
 
 SIZES = (0, 1, 7, 64, 1000)
 DTYPES = (np.float32, np.float64)
@@ -343,3 +350,374 @@ class TestOpRunsEquivalence:
                 x, w, bias=b, stride=3, deterministic=False, ctx=cb
             )
             np.testing.assert_array_equal(outs[r], scalar_out)
+
+
+class TestCumsumRuns:
+    """cumsum_runs row == scalar cumsum ND call on the same context."""
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize(
+        "shape,dim",
+        [((0,), 0), ((1,), 0), ((97,), 0), ((1000,), 0), ((4000,), 0),
+         ((7, 130), 1), ((7, 130), 0), ((3, 4, 300), 2)],
+    )
+    def test_matches_scalar_bitwise(self, dtype, shape, dim):
+        rng = np.random.default_rng(sum(shape) + dim)
+        x = rng.standard_normal(shape).astype(dtype)
+        ca, cb = RunContext(11), RunContext(11)
+        batched = cumsum_runs(x, dim, 7, ctx=ca)
+        for r in range(7):
+            scalar = cumsum(x, dim, deterministic=False, ctx=cb)
+            np.testing.assert_array_equal(batched[r], scalar)
+        assert ca.peek_run_counter() == cb.peek_run_counter()
+
+    def test_n_below_every_chunk_is_stable(self):
+        # n smaller than the smallest ladder entry: every chunk choice is
+        # the strict serial scan, so all runs agree bitwise.
+        x = np.random.default_rng(0).standard_normal(100).astype(np.float32)
+        outs = cumsum_runs(x, 0, 6, ctx=RunContext(0))
+        assert len({o.tobytes() for o in outs}) == 1
+
+    def test_negative_zero_chunk0_pristine(self):
+        # Chunk 0 receives no offset add, so a -0.0 prefix keeps its sign.
+        x = np.full(300, -0.0)
+        outs = cumsum_runs(x, 0, 8, ctx=RunContext(3))
+        for o in outs:
+            assert np.signbit(o[:128]).all()
+
+    def test_outputs_independent(self):
+        x = np.random.default_rng(1).standard_normal(600)
+        outs = cumsum_runs(x, 0, 4, ctx=RunContext(1))
+        assert all(o.base is None for o in outs)
+        outs[0][:] = 0  # must not alias any other run
+        assert not np.array_equal(outs[0], outs[1])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            cumsum_runs(np.ones(4), 0, 3, chunk_ladder=(), ctx=RunContext(0))
+        with pytest.raises(ConfigurationError):
+            cumsum_runs(np.ones(4), 0, -1, ctx=RunContext(0))
+        with pytest.raises(ShapeError):
+            cumsum_runs(np.float64(3.0), 0, 2, ctx=RunContext(0))
+
+    @pytest.mark.slow
+    def test_large_input_matches_scalar(self):
+        x = np.random.default_rng(5).standard_normal(100_000).astype(np.float32)
+        ca, cb = RunContext(5), RunContext(5)
+        batched = cumsum_runs(x, 0, 12, ctx=ca)
+        for r in range(12):
+            np.testing.assert_array_equal(
+                batched[r], cumsum(x, deterministic=False, ctx=cb)
+            )
+
+
+class TestOpenMPReduceManyBatch:
+    """reduce_many trial == scalar reduce_sum call on the same context."""
+
+    @pytest.mark.parametrize(
+        "schedule,chunk",
+        [("static", None), ("static", 7), ("dynamic", None), ("dynamic", 3),
+         ("guided", None), ("guided", 5)],
+    )
+    def test_matches_scalar_bitwise(self, schedule, chunk):
+        x = np.random.default_rng(2).standard_normal(5_000)
+        ca, cb = RunContext(9), RunContext(9)
+        rta = OpenMPRuntime(num_threads=8, schedule=schedule, chunk=chunk, ctx=ca)
+        rtb = OpenMPRuntime(num_threads=8, schedule=schedule, chunk=chunk, ctx=cb)
+        batched = rta.reduce_many(x, 9)
+        scalar = np.array([rtb.reduce_sum(x) for _ in range(9)])
+        np.testing.assert_array_equal(batched, scalar)
+        assert ca.peek_run_counter() == cb.peek_run_counter()
+
+    def test_ordered_is_constant_and_consumes_no_streams(self):
+        x = np.random.default_rng(3).standard_normal(10_000)
+        ctx = RunContext(1)
+        rt = OpenMPRuntime(num_threads=8, ctx=ctx)
+        vals = rt.reduce_many(x, 5, ordered=True)
+        assert len(set(vals.tolist())) == 1
+        assert ctx.peek_run_counter() == 0
+
+    def test_fewer_elements_than_threads(self):
+        x = np.random.default_rng(4).standard_normal(3)
+        ca, cb = RunContext(2), RunContext(2)
+        rta = OpenMPRuntime(num_threads=16, ctx=ca)
+        rtb = OpenMPRuntime(num_threads=16, ctx=cb)
+        np.testing.assert_array_equal(
+            rta.reduce_many(x, 6), [rtb.reduce_sum(x) for _ in range(6)]
+        )
+
+    def test_empty_input(self):
+        ca, cb = RunContext(2), RunContext(2)
+        rta = OpenMPRuntime(num_threads=4, ctx=ca)
+        rtb = OpenMPRuntime(num_threads=4, ctx=cb)
+        np.testing.assert_array_equal(
+            rta.reduce_many(np.empty(0), 3),
+            [rtb.reduce_sum(np.empty(0)) for _ in range(3)],
+        )
+        assert ca.peek_run_counter() == cb.peek_run_counter()
+
+    def test_validation(self):
+        rt = OpenMPRuntime(num_threads=2, ctx=RunContext(0))
+        with pytest.raises(ConfigurationError):
+            rt.reduce_many(np.ones(4), 0)
+        with pytest.raises(ConfigurationError):
+            rt.reduce_many(np.ones((2, 2)), 3)
+
+
+class TestBlockPartialsRuns:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    @pytest.mark.parametrize("n,nb,bs", [(150, 38, None), (1000, 12, 100),
+                                         (5, 8, None), (64, 4, 16), (7, 3, 3), (1, 1, None)])
+    def test_matches_scalar_bitwise(self, dtype, n, nb, bs):
+        mat = np.random.default_rng(n + nb).standard_normal((6, n)).astype(dtype)
+        batched = block_partials_runs(mat, nb, bs)
+        assert batched.dtype == dtype
+        for r in range(6):
+            np.testing.assert_array_equal(batched[r], block_partials(mat[r], nb, bs))
+
+    def test_chunking_preserves_bits(self):
+        mat = np.random.default_rng(0).standard_normal((9, 50))
+        np.testing.assert_array_equal(
+            block_partials_runs(mat, 7, chunk_runs=2), block_partials_runs(mat, 7)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            block_partials_runs(np.ones(4), 2)
+        with pytest.raises(ConfigurationError):
+            block_partials_runs(np.ones((2, 8)), 2, 3)  # cannot cover 8
+
+
+class TestBatchedAtomicFoldPerRunValues:
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_matches_scalar_bitwise(self, dtype):
+        rng = np.random.default_rng(7)
+        vals = rng.standard_normal((5, 40)).astype(dtype)
+        orders = np.stack([rng.permutation(40) for _ in range(5)])
+        batched = batched_atomic_fold(vals, orders)
+        scalar = np.array([atomic_fold(vals[r], orders[r]) for r in range(5)])
+        np.testing.assert_array_equal(batched, scalar)
+
+    def test_shape_validation(self):
+        with pytest.raises(SchedulerError):
+            batched_atomic_fold(np.ones((2, 3)), np.zeros((2, 4), dtype=np.int64))
+
+
+class TestReductionSumRuns:
+    """sum_runs row == scalar .sum on the same context, for all strategies."""
+
+    @pytest.mark.parametrize("name", ("ao", "spa", "sptr", "sprg", "tprc", "cu"))
+    @pytest.mark.parametrize("n,tpb", [(1, 2), (37, 4), (200, 4), (1000, 8)])
+    def test_matches_scalar_bitwise(self, name, n, tpb):
+        mat = np.random.default_rng(n).standard_normal((5, n))
+        red_a = get_reduction(name, threads_per_block=tpb)
+        red_b = get_reduction(name, threads_per_block=tpb)
+        ca, cb = RunContext(13), RunContext(13)
+        batched = red_a.sum_runs(mat, ctx=ca)
+        scalar = np.array([red_b.sum(mat[r], ctx=cb) for r in range(5)])
+        np.testing.assert_array_equal(batched, scalar)
+        assert ca.peek_run_counter() == cb.peek_run_counter()
+
+    def test_persistent_rngs_mode(self):
+        # The CG contract: each run's stream is consumed across successive
+        # batched sums exactly like successive scalar sums on that stream.
+        red_a = get_reduction("spa", threads_per_block=4)
+        red_b = get_reduction("spa", threads_per_block=4)
+        ca, cb = RunContext(7), RunContext(7)
+        rngs_a = [ca.scheduler() for _ in range(4)]
+        rngs_b = [cb.scheduler() for _ in range(4)]
+        rng = np.random.default_rng(1)
+        for _ in range(3):
+            mat = rng.standard_normal((4, 64))
+            batched = red_a.sum_runs(mat, rngs=rngs_a)
+            scalar = np.array([red_b.sum(mat[r], rng=rngs_b[r]) for r in range(4)])
+            np.testing.assert_array_equal(batched, scalar)
+
+    def test_empty_and_validation(self):
+        red = get_reduction("spa")
+        assert red.sum_runs(np.empty((3, 0)), ctx=RunContext(0)).tolist() == [0.0, 0.0, 0.0]
+        with pytest.raises(ConfigurationError):
+            red.sum_runs(np.ones(4), ctx=RunContext(0))
+        with pytest.raises(ConfigurationError):
+            red.sum_runs(np.ones((2, 4)), rngs=[None])
+
+
+class TestConjugateGradientRuns:
+    """Lockstep CG == sequential scalar solves on the same context."""
+
+    def _system(self, n=60, cond=1e4, seed=0):
+        ctx = RunContext(seed)
+        A = spd_test_matrix(n, cond=cond, rng=ctx.data(1))
+        b = ctx.data(2).standard_normal(n)
+        return A, b
+
+    @pytest.mark.parametrize(
+        "red,tol,max_iter",
+        [("spa", 0.0, 15), ("spa", 1e-12, None), ("ao", 0.0, 8),
+         ("sptr", 0.0, 10), (None, 1e-10, None)],
+    )
+    def test_matches_scalar_bitwise(self, red, tol, max_iter):
+        A, b = self._system()
+        ra = get_reduction(red, threads_per_block=4) if red else None
+        rb = get_reduction(red, threads_per_block=4) if red else None
+        ca, cb = RunContext(3), RunContext(3)
+        batch = conjugate_gradient_runs(
+            A, b, 4, reduction=ra, tol=tol, max_iter=max_iter,
+            track_iterates=True, ctx=ca,
+        )
+        for r in range(4):
+            s = conjugate_gradient(
+                A, b, reduction=rb, tol=tol, max_iter=max_iter,
+                track_iterates=True, ctx=cb,
+            )
+            assert batch[r].n_iter == s.n_iter
+            assert batch[r].converged == s.converged
+            np.testing.assert_array_equal(batch[r].x, s.x)
+            np.testing.assert_array_equal(batch[r].residuals, s.residuals)
+            assert len(batch[r].iterates) == len(s.iterates)
+            for bi, si in zip(batch[r].iterates, s.iterates):
+                np.testing.assert_array_equal(bi, si)
+        assert ca.peek_run_counter() == cb.peek_run_counter()
+
+    def test_early_convergence_freezes_runs(self):
+        # tol > 0: runs converge at different iteration counts; frozen runs
+        # must stop consuming their streams exactly like the scalar loop.
+        A, b = self._system(n=40, cond=1e3, seed=4)
+        ca, cb = RunContext(8), RunContext(8)
+        spa_a = get_reduction("spa", threads_per_block=4)
+        spa_b = get_reduction("spa", threads_per_block=4)
+        batch = conjugate_gradient_runs(A, b, 5, reduction=spa_a, tol=1e-11, ctx=ca)
+        iters = set()
+        for r in range(5):
+            s = conjugate_gradient(A, b, reduction=spa_b, tol=1e-11, ctx=cb)
+            assert batch[r].n_iter == s.n_iter
+            np.testing.assert_array_equal(batch[r].x, s.x)
+            iters.add(s.n_iter)
+        assert all(res.converged for res in batch)
+
+    def test_indefinite_matrix_breaks_like_scalar(self):
+        # pAp <= 0 on an indefinite system: the run breaks before the
+        # second inner product, like the scalar loop.
+        n = 12
+        A = np.diag(np.concatenate([np.ones(6), -np.ones(6)]))
+        b = np.ones(n)
+        batch = conjugate_gradient_runs(A, b, 3, tol=0.0, max_iter=9)
+        for r in range(3):
+            s = conjugate_gradient(A, b, tol=0.0, max_iter=9)
+            assert batch[r].n_iter == s.n_iter
+            assert batch[r].converged == s.converged
+            np.testing.assert_array_equal(batch[r].x, s.x)
+            np.testing.assert_array_equal(batch[r].residuals, s.residuals)
+
+    def test_max_iter_zero_and_x0(self):
+        A, b = self._system(n=10)
+        x0 = np.linspace(0, 1, 10)
+        batch = conjugate_gradient_runs(A, b, 2, x0=x0, max_iter=0)
+        s = conjugate_gradient(A, b, x0=x0, max_iter=0)
+        for r in range(2):
+            assert batch[r].n_iter == 0
+            np.testing.assert_array_equal(batch[r].x, s.x)
+
+    def test_validation(self):
+        A, b = self._system(n=5)
+        with pytest.raises(ConfigurationError):
+            conjugate_gradient_runs(A, b, 0)
+        with pytest.raises(ShapeError):
+            conjugate_gradient_runs(A, np.ones((2, 2)), 2)
+        with pytest.raises(ShapeError):
+            conjugate_gradient_runs(A, b, 2, x0=np.ones(3))
+
+
+class TestSweepVariability:
+    """Pooled sweep == per-cell wrappers == manual scalar loop."""
+
+    def test_pooled_matches_per_cell_bitwise(self):
+        from repro.experiments._opruns import (
+            SweepCell,
+            index_add_variability,
+            scatter_reduce_variability,
+            sweep_variability,
+        )
+
+        cells = [
+            SweepCell("scatter_reduce", 700, 0.5, "sum"),
+            SweepCell("scatter_reduce", 1500, 1.0, "mean"),
+            SweepCell("index_add", 60, 0.9),
+            SweepCell("scatter_reduce", 300, 0.1, "sum"),
+            SweepCell("index_add", 60, 0.4),
+        ]
+        ca, cb = RunContext(5), RunContext(5)
+        pooled = sweep_variability(cells, 9, ca)
+        for c, p in zip(cells, pooled):
+            if c.op == "scatter_reduce":
+                s = scatter_reduce_variability(c.n, c.ratio, c.reduce, 9, cb)
+            else:
+                s = index_add_variability(c.n, c.ratio, 9, cb)
+            assert p == s, c
+        assert ca.peek_run_counter() == cb.peek_run_counter()
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_summaries_match_scalar_metrics(self, dtype):
+        from repro.experiments._opruns import _summarise_batch
+        from repro.metrics.array import count_variability, ermv
+
+        rng = np.random.default_rng(2)
+        ref = rng.standard_normal((30, 4)).astype(dtype)
+        batch = np.stack([ref + (rng.random(ref.shape) < 0.05) * rng.standard_normal(ref.shape) for _ in range(6)]).astype(dtype)
+        v = _summarise_batch(ref, batch)
+        vcs = np.array([count_variability(ref, b) for b in batch])
+        ermvs = np.array([ermv(ref, b) for b in batch])
+        finite = ermvs[np.isfinite(ermvs)]
+        assert v.vc_mean == float(vcs.mean()) and v.vc_std == float(vcs.std())
+        assert v.ermv_mean == float(finite.mean()) and v.ermv_max == float(finite.max())
+
+    def test_summarise_zero_reference_corner(self):
+        from repro.experiments._opruns import _summarise_batch
+        from repro.metrics.array import ermv
+
+        ref = np.array([0.0, 1.0, -2.0, 0.0], dtype=np.float32)
+        batch = np.stack([
+            ref,
+            np.array([0.5, 1.0, -2.0, 0.0], dtype=np.float32),
+            np.array([0.0, 1.25, -2.0, 0.0], dtype=np.float32),
+        ])
+        v = _summarise_batch(ref, batch)
+        finite = np.array([e for e in (ermv(ref, b) for b in batch) if np.isfinite(e)])
+        assert v.ermv_mean == float(finite.mean())
+        assert v.n_unique == 3
+
+    def test_stacked_chunked_runs_match_list_api(self):
+        rng = np.random.default_rng(6)
+        n, t = 500, 120
+        idx = rng.integers(0, t, n)
+        src = rng.standard_normal(n).astype(np.float32)
+        inp = rng.standard_normal(t).astype(np.float32)
+        ca, cb = RunContext(4), RunContext(4)
+        stacked = scatter_reduce_runs(
+            inp, 0, idx, src, "sum", 7, ctx=ca, stacked=True, chunk_runs=3
+        )
+        listed = scatter_reduce_runs(inp, 0, idx, src, "sum", 7, ctx=cb)
+        for r in range(7):
+            np.testing.assert_array_equal(stacked[r], listed[r])
+
+    def test_pooled_handles_non_sum_reduces(self):
+        # Regression: the pooled column fold must use each cell's own fold
+        # operator (amax/amin are order-invariant, so their Vc is 0).
+        from repro.experiments._opruns import (
+            SweepCell,
+            scatter_reduce_variability,
+            sweep_variability,
+        )
+
+        cells = [
+            SweepCell("scatter_reduce", 800, 1.0, "amax"),
+            SweepCell("scatter_reduce", 800, 1.0, "sum"),
+            SweepCell("scatter_reduce", 400, 0.5, "prod"),
+            SweepCell("scatter_reduce", 400, 0.5, "amin"),
+        ]
+        ca, cb = RunContext(5), RunContext(5)
+        pooled = sweep_variability(cells, 8, ca)
+        for c, p in zip(cells, pooled):
+            s = scatter_reduce_variability(c.n, c.ratio, c.reduce, 8, cb)
+            assert p == s, c
+        assert pooled[0].vc_mean == 0.0 and pooled[3].vc_mean == 0.0

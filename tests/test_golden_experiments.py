@@ -1,0 +1,69 @@
+"""Golden regression pins for the batched-engine experiments.
+
+Each pinned experiment regenerates its dev-scale rows from a fixed-seed
+context and must reproduce the recorded SHA-256 of the canonical JSON
+serialisation **exactly** — any bit-level drift in the batched run-axis
+engine (fold orders, RNG draw sequence, summary statistics) shows up here
+as a hash mismatch, pointing at the experiment whose semantics moved.
+
+The hashes were captured when the batched cumsum/OpenMP/CG/sweep engines
+landed, on the CI container (the cgdiv pins go through LAPACK ``qr`` and
+BLAS GEMV, so exotic BLAS builds could legitimately differ — if a pin
+fails with an otherwise green ``tests/test_batched_engine.py``, suspect
+the platform first, then the engine).
+
+Regenerating after an intentional semantic change::
+
+    PYTHONPATH=src python tests/test_golden_experiments.py
+
+prints the current hashes to paste below.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.experiments import get_experiment
+from repro.runtime import RunContext
+
+#: Dev-scale overrides keeping the pins fast (< ~0.5 s total).
+_OVERRIDES: dict[str, dict] = {
+    "fig3": {"n_runs": 8},
+    "fig4": {"n_runs": 10},
+    "fig5": {"n_runs": 10},
+    "cgdiv": {"n": 80, "n_runs": 3, "n_iter": 12},
+    "table3": {},
+}
+
+GOLDEN_SHA256: dict[str, str] = {
+    "cgdiv": "5fccfa4958e04baceac7c1648dee44249ef60e076fd18b62ed2c32333dc30b15",
+    "fig3": "906b14509cd7362d26947ca714681bad6d73d14d27b786879f36b69d2a0d0590",
+    "fig4": "d13da4f2b51841b3fd65c0fe3051299ad96c92ebd2243434451dd04c81c79c95",
+    "fig5": "7691f3ae4dfbb5fad89e58b1daffe9587289618ec50ca605aebcc1adf1565d4c",
+    "table3": "9d096da37ca859d8e7ad9e5278377ea62c44bd01347f1c543115ec214465232a",
+}
+
+
+def _digest(experiment_id: str) -> str:
+    result = get_experiment(experiment_id).run(
+        scale="default", ctx=RunContext(seed=0), **_OVERRIDES[experiment_id]
+    )
+    doc = {"rows": result.rows, "extra": result.extra}
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+@pytest.mark.parametrize("experiment_id", sorted(GOLDEN_SHA256))
+def test_golden_rows(experiment_id):
+    assert _digest(experiment_id) == GOLDEN_SHA256[experiment_id], (
+        f"{experiment_id} rows drifted from the golden pin — the batched "
+        "engine no longer reproduces the recorded outputs bit for bit"
+    )
+
+
+if __name__ == "__main__":
+    for eid in sorted(GOLDEN_SHA256):
+        print(f'    "{eid}": "{_digest(eid)}",')
