@@ -19,7 +19,12 @@ import argparse
 import numpy as np
 
 import repro
-from repro.experiments._gnn import run_inference, train_graphsage
+from repro.experiments._gnn import (
+    run_inference,
+    run_inference_runs,
+    train_graphsage,
+    train_graphsage_runs,
+)
 from repro.graph import cora_like
 from repro.metrics import count_variability, ermv, runs_all_unique
 from repro.runtime import RunContext
@@ -44,45 +49,53 @@ def main() -> None:
     print(f"dataset: {ds.num_nodes} nodes, {ds.graph.num_edges} edges, "
           f"{ds.num_features} features, {ds.num_classes} classes")
 
-    # ---- train the ND population -----------------------------------------
-    print(f"\ntraining {args.models} models, identical inits, ND aggregation...")
-    runs = [
-        train_graphsage(ds, hidden=16, epochs=args.epochs, lr=0.02,
-                        deterministic=False, ctx=ctx)
-        for _ in range(args.models)
-    ]
+    # ---- train the ND population (all models in lockstep) ----------------
+    print(f"\ntraining {args.models} models in lockstep, identical inits, "
+          "ND aggregation...")
+    runs = train_graphsage_runs(ds, hidden=16, epochs=args.epochs, lr=0.02,
+                                deterministic=False, ctx=ctx,
+                                n_runs=args.models)
 
     # ---- weight drift over epochs ----------------------------------------
     ref = train_graphsage(ds, hidden=16, epochs=args.epochs, lr=0.02,
                           deterministic=True, ctx=ctx)
     print("\nweight Vermv vs deterministic twin, by epoch:")
     for ep in range(args.epochs):
-        vals = np.array([ermv(ref.epoch_weights[ep], r.epoch_weights[ep]) for r in runs])
+        vals = np.array([ermv(ref.epoch_weights[ep], runs.epoch_weights[ep][m])
+                         for m in range(args.models)])
         vals = vals[np.isfinite(vals)]
         print(f"  epoch {ep + 1}: mean {vals.mean():.3e}  std {vals.std():.3e}")
 
-    unique = runs_all_unique([r.weights for r in runs])
-    losses = [r.losses[-1] for r in runs]
+    unique = runs_all_unique(list(runs.weights))
+    losses = runs.losses[-1]
     print(f"\nall {args.models} weight vectors bitwise unique: {unique}")
-    print(f"final losses: min {min(losses):.4f}  max {max(losses):.4f} "
+    print(f"final losses: min {losses.min():.4f}  max {losses.max():.4f} "
           "(similar convergence despite bit-level divergence)")
 
     # ---- Table 7: the four combinations ----------------------------------
-    ref_logits = run_inference(ref.model, ds, deterministic=True)
+    ref_logits = run_inference(ref.model, ds, deterministic=True, ctx=ctx)
     print("\nTable-7-style combinations (vs D-train/D-infer reference):")
     print(f"{'training':>9} {'inference':>10} {'Vermv':>10} {'Vc':>8}")
+    n_show = min(4, args.models)
     for train_mode in ("D", "ND"):
         for infer_mode in ("D", "ND"):
-            ermvs, vcs = [], []
-            for m in range(min(4, args.models)):
-                run = ref if train_mode == "D" else runs[m]
-                logits = run_inference(run.model, ds, deterministic=infer_mode == "D")
-                ermvs.append(ermv(ref_logits, logits))
-                vcs.append(count_variability(ref_logits, logits))
-            e = np.array(ermvs)
-            e = e[np.isfinite(e)]
+            if train_mode == "D":
+                # One shared model: only the n_show shown passes are run.
+                logits = run_inference_runs(
+                    ref.model, ds, deterministic=infer_mode == "D", ctx=ctx,
+                    n_runs=n_show,
+                )
+            else:
+                # The batched model infers all runs in one lockstep pass.
+                logits = run_inference_runs(
+                    runs.model, ds, deterministic=infer_mode == "D", ctx=ctx,
+                    n_runs=args.models,
+                )[:n_show]
+            ermvs = np.array([ermv(ref_logits, lg) for lg in logits])
+            ermvs = ermvs[np.isfinite(ermvs)]
+            vcs = [count_variability(ref_logits, lg) for lg in logits]
             print(f"{train_mode:>9} {infer_mode:>10} "
-                  f"{(e.mean() if e.size else 0):>10.2e} {np.mean(vcs):>8.4f}")
+                  f"{(ermvs.mean() if ermvs.size else 0):>10.2e} {np.mean(vcs):>8.4f}")
 
     # ---- accuracy sanity --------------------------------------------------
     with repro.deterministic_mode():

@@ -2,10 +2,26 @@
 
 The paper's protocol: a fixed dataset, fixed parameter initialisation, and
 N independent training runs whose *only* divergence source is the
-``index_add`` kernel.  :func:`train_graphsage` reproduces that — the model
-is re-initialised identically per run (the run context's init stream is
-run-stable) and trained full-batch with Adam under a chosen determinism
-mode; weight snapshots per epoch feed the drift analysis.
+``index_add`` kernel.  :func:`train_graphsage` reproduces one such run —
+the model is re-initialised identically per run (the run context's init
+stream is run-stable) and trained full-batch with Adam under a chosen
+determinism mode; weight snapshots per epoch feed the drift analysis.
+:func:`train_graphsage_runs` trains all N runs in **lockstep** on the
+batched run-axis engine — run-batched tensors, one scheduler stream per
+run — and is bit-identical per run to calling :func:`train_graphsage` in
+a loop on the same context.
+
+RNG draw contract (batched run-axis engine)
+-------------------------------------------
+A non-deterministic training run is **one simulated run**: it draws one
+scheduler stream at run start (:func:`repro.tensor.use_kernel_stream`)
+and every ND ``index_add`` of that run — the two forward aggregations,
+then the backward scatter-adds in graph order — consumes it sequentially;
+unique-index calls consume nothing.  An ND inference pass likewise draws
+one stream.  The lockstep batch pre-draws the R streams in run order
+(:class:`repro.tensor.RunBatch`) so run ``r`` consumes exactly the stream
+its scalar twin would pin — the engine-wide one-stream-per-run contract
+catalogued in :mod:`repro.gpusim.scheduler`.
 
 The cost helpers compose per-kernel times into end-to-end runtimes for
 Table 8 (H100 D/ND, LPU static schedule).
@@ -18,22 +34,30 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..config import deterministic_mode
+from ..errors import ConfigurationError
 from ..gpusim.costmodel import CostModel
 from ..gpusim.device import get_device
 from ..graph.datasets import CoraLike
 from ..lpu.compiler import LPUCompiler, Program
 from ..nn import Adam, GraphSAGE, functional as F
-from ..runtime import RunContext
-from ..tensor import Tensor, no_grad
+from ..runtime import RunContext, get_context
+from ..tensor import RunBatch, Tensor, no_grad, run_batch, use_kernel_stream
 
 __all__ = [
     "TrainedRun",
+    "TrainedRuns",
     "train_graphsage",
+    "train_graphsage_runs",
     "run_inference",
+    "run_inference_runs",
     "gnn_inference_cost_us",
     "gnn_training_cost_s",
     "build_lpu_gnn_program",
 ]
+
+#: Run-stable init stream of the GraphSAGE experiments (fixed so scalar
+#: and lockstep trainings start from bitwise-identical weights).
+_GNN_INIT_STREAM = 0x5A6E
 
 
 @dataclass
@@ -44,6 +68,42 @@ class TrainedRun:
     epoch_weights: list[np.ndarray]
     losses: list[float]
     model: GraphSAGE
+
+
+@dataclass
+class TrainedRuns:
+    """``n_runs`` lockstep training runs.
+
+    Attributes
+    ----------
+    weights:
+        ``(R, P)`` final flat weights, one run per row.
+    epoch_weights:
+        Per-epoch ``(R, P)`` snapshots.
+    losses:
+        ``(epochs, R)`` per-run training losses.
+    model:
+        The run-batched model (parameters lead with the run axis), or the
+        single shared model when deterministic runs collapsed to one.
+    n_runs:
+        Number of simulated runs.
+    """
+
+    weights: np.ndarray
+    epoch_weights: list[np.ndarray]
+    losses: np.ndarray
+    model: GraphSAGE
+    n_runs: int
+
+
+def _training_setup(ds: CoraLike, hidden: int, ctx: RunContext):
+    model = GraphSAGE(
+        ds.num_features, hidden, ds.num_classes, rng=ctx.init(stream=_GNN_INIT_STREAM)
+    )
+    x = Tensor(ds.features)
+    labels_train = ds.labels[ds.train_mask]
+    train_idx = np.flatnonzero(ds.train_mask)
+    return model, x, ds.graph.edge_index, labels_train, train_idx
 
 
 def train_graphsage(
@@ -60,19 +120,16 @@ def train_graphsage(
     Initialisation uses the context's run-stable init stream, so every call
     starts from bitwise-identical weights; under ``deterministic=True`` the
     whole run is bitwise reproducible, under ``False`` the forward/backward
-    ``index_add`` kernels inject FPNA variability.
+    ``index_add`` kernels inject FPNA variability, all drawing from the one
+    scheduler stream this run pins (the one-stream-per-run contract — see
+    the module docstring).
     """
-    model = GraphSAGE(
-        ds.num_features, hidden, ds.num_classes, rng=ctx.init(stream=0x5A6E)
-    )
-    x = Tensor(ds.features)
-    edges = ds.graph.edge_index
-    labels_train = ds.labels[ds.train_mask]
-    train_idx = np.flatnonzero(ds.train_mask)
+    model, x, edges, labels_train, train_idx = _training_setup(ds, hidden, ctx)
     opt = Adam(model.parameters(), lr=lr)
     losses: list[float] = []
     snaps: list[np.ndarray] = []
-    with deterministic_mode(deterministic):
+    stream = None if deterministic else ctx.scheduler()
+    with deterministic_mode(deterministic), use_kernel_stream(stream):
         for _ in range(epochs):
             model.train()
             opt.zero_grad()
@@ -85,10 +142,118 @@ def train_graphsage(
     return TrainedRun(weights=model.flat_weights(), epoch_weights=snaps, losses=losses, model=model)
 
 
-def run_inference(model: GraphSAGE, ds: CoraLike, *, deterministic: bool) -> np.ndarray:
-    """One full-graph inference pass; returns the log-probability array."""
+def train_graphsage_runs(
+    ds: CoraLike,
+    *,
+    hidden: int,
+    epochs: int,
+    lr: float,
+    deterministic: bool,
+    ctx: RunContext,
+    n_runs: int,
+) -> TrainedRuns:
+    """Train ``n_runs`` GraphSAGE runs in lockstep on the run-axis engine.
+
+    Bit-identical per run to ``[train_graphsage(...) for _ in
+    range(n_runs)]`` on the same context: the parameters are tiled into
+    ``(R, ...)`` stacks, every forward/backward op advances all runs as
+    one batched computation, and each run's ND ``index_add`` randomness
+    comes from that run's own scheduler stream, pre-drawn in run order.
+    Deterministic runs are all bitwise identical, so they collapse to one
+    scalar training whose results are broadcast over the run axis.
+    """
+    if n_runs < 1:
+        raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
+    if deterministic:
+        run = train_graphsage(
+            ds, hidden=hidden, epochs=epochs, lr=lr, deterministic=True, ctx=ctx
+        )
+        return TrainedRuns(
+            weights=np.broadcast_to(run.weights, (n_runs,) + run.weights.shape),
+            epoch_weights=[
+                np.broadcast_to(w, (n_runs,) + w.shape) for w in run.epoch_weights
+            ],
+            losses=np.broadcast_to(
+                np.asarray(run.losses, dtype=np.float64)[:, None], (epochs, n_runs)
+            ),
+            model=run.model,
+            n_runs=n_runs,
+        )
+    model, x, edges, labels_train, train_idx = _training_setup(ds, hidden, ctx)
+    model.expand_runs(n_runs)
+    opt = Adam(model.parameters(), lr=lr)
+    batch = RunBatch(n_runs, ctx=ctx)  # one scheduler stream per run
+    losses = np.empty((epochs, n_runs), dtype=np.float64)
+    snaps: list[np.ndarray] = []
+    with deterministic_mode(False), run_batch(batch):
+        for ep in range(epochs):
+            model.train()
+            opt.zero_grad()
+            out = model(x, edges)
+            loss = F.nll_loss(out.gather_rows(train_idx), labels_train)
+            loss.backward()
+            opt.step()
+            losses[ep] = loss.numpy().astype(np.float64)
+            snaps.append(model.flat_weights())
+    return TrainedRuns(
+        weights=model.flat_weights(),
+        epoch_weights=snaps,
+        losses=losses,
+        model=model,
+        n_runs=n_runs,
+    )
+
+
+def run_inference(
+    model: GraphSAGE,
+    ds: CoraLike,
+    *,
+    deterministic: bool,
+    ctx: RunContext | None = None,
+) -> np.ndarray:
+    """One full-graph inference pass; returns the log-probability array.
+
+    A non-deterministic pass is one simulated run: it draws one scheduler
+    stream from ``ctx`` (the active context when omitted) and both layer
+    aggregations consume it.
+    """
     model.eval()
-    with deterministic_mode(deterministic), no_grad():
+    stream = None if deterministic else (ctx or get_context()).scheduler()
+    with deterministic_mode(deterministic), no_grad(), use_kernel_stream(stream):
+        out = model(Tensor(ds.features), ds.graph.edge_index)
+    return out.numpy().copy()
+
+
+def run_inference_runs(
+    model: GraphSAGE,
+    ds: CoraLike,
+    *,
+    deterministic: bool,
+    ctx: RunContext,
+    n_runs: int,
+) -> np.ndarray:
+    """``n_runs`` lockstep inference passes; returns ``(R, N, C)`` logits.
+
+    Accepts a run-batched model (each run infers its own weights) or a
+    shared scalar model (the D-trained population case).  Bit-identical
+    per run to calling :func:`run_inference` once per run on the same
+    context: ND passes pre-draw one stream per run in run order;
+    deterministic passes draw nothing (and collapse to one shared pass
+    when the model is shared too).
+    """
+    if n_runs < 1:
+        raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
+    model_runs = next((p.runs for p in model.parameters()), None)
+    if model_runs is not None and model_runs != n_runs:
+        raise ConfigurationError(
+            f"model carries {model_runs} runs but {n_runs} were requested"
+        )
+    if deterministic and model_runs is None:
+        out = run_inference(model, ds, deterministic=True, ctx=ctx)
+        return np.broadcast_to(out, (n_runs,) + out.shape)
+    model.eval()
+    batch = RunBatch(n_runs, ctx=ctx, deterministic=deterministic)
+    with deterministic_mode(deterministic), no_grad(), run_batch(batch):
         out = model(Tensor(ds.features), ds.graph.edge_index)
     return out.numpy().copy()
 

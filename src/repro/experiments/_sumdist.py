@@ -7,21 +7,28 @@ deterministic, its partials are computed **once** per array and only the
 combine order is re-sampled per run — the honest shortcut that makes the
 scaled experiments fast without changing a single result bit.
 
-Both helpers run on the batched run-axis engine: all ``R`` orders of an
-array are sampled as one matrix (:class:`~repro.gpusim.scheduler.
-WaveSchedulerBatch`) and folded with one batched accumulate
-(:func:`~repro.gpusim.atomics.batched_atomic_fold`), processed in
-run chunks so memory stays bounded at ``n = 10**6``.  Per-run results are
-bit-identical to looping ``WaveScheduler`` + ``atomic_fold`` (or the
-reduction classes) — ``tests/test_experiment_helpers.py`` and
-``tests/test_batched_engine.py`` pin this.
+All helpers run on the batched run-axis engine, batched across **arrays as
+well as runs**: an experiment's whole ``(arrays, runs)`` grid is one pass
+(:func:`spa_vs_samples_arrays` / :func:`ao_vs_samples_arrays`) — the block
+partials of every array evaluate in lockstep
+(:func:`~repro.fp.summation.block_partials_runs`), all ``A x R`` execution
+orders are sampled through one :class:`~repro.gpusim.scheduler.
+WaveSchedulerBatch` (in run order, or from explicit pre-drawn per-run
+streams when the caller interleaves several batches' draws), and the folds
+run through :func:`~repro.gpusim.atomics.batched_atomic_fold`'s per-run
+values mode, processed in run chunks so memory stays bounded at
+``n = 10**6``.  Per-(array, run) results are bit-identical to looping
+``WaveScheduler`` + ``atomic_fold`` (or the reduction classes) —
+``tests/test_experiment_helpers.py`` and ``tests/test_batched_engine.py``
+pin this.  The single-array :func:`spa_vs_samples` / :func:`ao_vs_samples`
+are the ``A = 1`` special case of the same pass.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..fp.summation import block_partials, iter_run_chunks, tree_fold
+from ..fp.summation import block_partials_runs, iter_run_chunks, tree_fold
 from ..gpusim.atomics import batched_atomic_fold
 from ..gpusim.device import get_device
 from ..gpusim.kernel import LaunchConfig
@@ -29,7 +36,13 @@ from ..gpusim.scheduler import WaveSchedulerBatch
 from ..metrics.scalar import scalar_variability_many
 from ..runtime import RunContext
 
-__all__ = ["sample_array", "spa_vs_samples", "ao_vs_samples"]
+__all__ = [
+    "sample_array",
+    "spa_vs_samples",
+    "spa_vs_samples_arrays",
+    "ao_vs_samples",
+    "ao_vs_samples_arrays",
+]
 
 
 def sample_array(rng: np.random.Generator, n: int, distribution: str) -> np.ndarray:
@@ -51,6 +64,51 @@ def _spa_launch(dev, n: int, threads_per_block: int, n_blocks: int | None) -> La
     )
 
 
+def spa_vs_samples_arrays(
+    xs: np.ndarray,
+    n_runs: int,
+    ctx: RunContext,
+    *,
+    device: str = "v100",
+    threads_per_block: int = 64,
+    n_blocks: int | None = None,
+    rngs=None,
+) -> np.ndarray:
+    """``Vs`` of ``n_runs`` SPA sums of every row of ``xs``, vs SPTR.
+
+    One ``(arrays, runs, n)`` pass: row partials in lockstep, all
+    ``A x n_runs`` combine orders drawn through one scheduler batch
+    (array-major run order — array 0's runs first — matching a per-array
+    loop's stream consumption; explicit ``rngs`` override the stream
+    source per run), and the combines folded with per-run values.  Entry
+    ``[a, r]`` is bit-identical to run ``r`` of
+    ``spa_vs_samples(xs[a], ...)``.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(A, n_runs)`` Vs samples.
+    """
+    xs = np.asarray(xs)
+    n_arrays, n = xs.shape
+    dev = get_device(device)
+    launch = _spa_launch(dev, n, threads_per_block, n_blocks)
+    nb = launch.n_blocks
+    partials = block_partials_runs(xs, nb)  # (A, nb), deterministic
+    s_d = np.array([tree_fold(partials[a]) for a in range(n_arrays)])
+    batch = WaveSchedulerBatch(launch, ctx)
+    total = n_arrays * n_runs
+    sums = np.empty(total, dtype=np.float64)
+    for lo, hi in iter_run_chunks(total, nb):
+        orders = batch.block_completion_orders(
+            hi - lo, contention=0.0,
+            rngs=None if rngs is None else list(rngs[lo:hi]),
+        )
+        arr_of_run = np.arange(lo, hi) // max(n_runs, 1)
+        sums[lo:hi] = batched_atomic_fold(partials[arr_of_run], orders)
+    return scalar_variability_many(sums.reshape(n_arrays, n_runs), s_d[:, None])
+
+
 def spa_vs_samples(
     x: np.ndarray,
     n_runs: int,
@@ -64,19 +122,68 @@ def spa_vs_samples(
 
     Bit-identical to calling ``SinglePassAtomic.sum`` in a loop (the block
     partials are deterministic and hoisted out of the loop; the run axis is
-    batched).
+    batched).  The ``A = 1`` case of :func:`spa_vs_samples_arrays`.
     """
+    return spa_vs_samples_arrays(
+        np.asarray(x)[None], n_runs, ctx,
+        device=device, threads_per_block=threads_per_block, n_blocks=n_blocks,
+    )[0]
+
+
+def ao_vs_samples_arrays(
+    xs: np.ndarray,
+    n_runs: int,
+    ctx: RunContext,
+    *,
+    device: str = "v100",
+    threads_per_block: int = 64,
+    rngs=None,
+) -> np.ndarray:
+    """``Vs`` of ``n_runs`` AO sums of every row of ``xs``, vs SPTR.
+
+    The AO twin of :func:`spa_vs_samples_arrays`: all ``A x n_runs``
+    retirement orders come from one scheduler batch, with the
+    warp-granular fast path (whole warp slices gathered in sorted-key
+    order) whenever the geometry is warp-aligned.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(A, n_runs)`` Vs samples.
+    """
+    xs = np.asarray(xs)
+    n_arrays, n = xs.shape
     dev = get_device(device)
-    launch = _spa_launch(dev, x.size, threads_per_block, n_blocks)
-    nb = launch.n_blocks
-    partials = block_partials(x, nb)
-    s_d = tree_fold(partials)  # SPTR's combine
+    launch = _spa_launch(dev, n, threads_per_block, None)
+    partials = block_partials_runs(xs, launch.n_blocks)
+    s_d = np.array([tree_fold(partials[a]) for a in range(n_arrays)])
     batch = WaveSchedulerBatch(launch, ctx)
-    sums = np.empty(n_runs, dtype=np.float64)
-    for lo, hi in iter_run_chunks(n_runs, nb):
-        orders = batch.block_completion_orders(hi - lo, contention=0.0)
-        sums[lo:hi] = batched_atomic_fold(partials, orders)
-    return scalar_variability_many(sums, s_d)
+    total = n_arrays * n_runs
+    sums = np.empty(total, dtype=np.float64)
+    warp = dev.warp_size
+    if threads_per_block % warp == 0 and n % warp == 0:
+        # Warp-granular fast path: a retirement order is warp slices in
+        # sorted-key sequence with lanes in id order, so gathering x by
+        # whole warp rows reproduces x[order] bit-for-bit without the
+        # element-level permutation.
+        xw = np.ascontiguousarray(xs).reshape(n_arrays, -1, warp)
+        for lo, hi in iter_run_chunks(total, n):
+            worders = batch.thread_retirement_warp_orders(
+                hi - lo, n, contention=1.0,
+                rngs=None if rngs is None else list(rngs[lo:hi]),
+            )
+            for i in range(hi - lo):
+                folded = np.add.accumulate(xw[(lo + i) // n_runs][worders[i]].ravel())
+                sums[lo + i] = folded[-1]
+    else:
+        for lo, hi in iter_run_chunks(total, n):
+            orders = batch.thread_retirement_orders(
+                hi - lo, n, contention=1.0,
+                rngs=None if rngs is None else list(rngs[lo:hi]),
+            )
+            arr_of_run = np.arange(lo, hi) // max(n_runs, 1)
+            sums[lo:hi] = batched_atomic_fold(xs[arr_of_run], orders)
+    return scalar_variability_many(sums.reshape(n_arrays, n_runs), s_d[:, None])
 
 
 def ao_vs_samples(
@@ -88,26 +195,7 @@ def ao_vs_samples(
     threads_per_block: int = 64,
 ) -> np.ndarray:
     """``Vs`` of ``n_runs`` AO sums of ``x`` against the SPTR result."""
-    dev = get_device(device)
-    n = x.size
-    launch = _spa_launch(dev, n, threads_per_block, None)
-    s_d = tree_fold(block_partials(x, launch.n_blocks))
-    batch = WaveSchedulerBatch(launch, ctx)
-    sums = np.empty(n_runs, dtype=np.float64)
-    warp = dev.warp_size
-    if threads_per_block % warp == 0 and n % warp == 0:
-        # Warp-granular fast path: a retirement order is warp slices in
-        # sorted-key sequence with lanes in id order, so gathering x by
-        # whole warp rows reproduces x[order] bit-for-bit without the
-        # element-level permutation.
-        xw = np.ascontiguousarray(x).reshape(-1, warp)
-        for lo, hi in iter_run_chunks(n_runs, n):
-            worders = batch.thread_retirement_warp_orders(hi - lo, n, contention=1.0)
-            for r in range(hi - lo):
-                folded = np.add.accumulate(xw[worders[r]].ravel())
-                sums[lo + r] = folded[-1]
-    else:
-        for lo, hi in iter_run_chunks(n_runs, n):
-            orders = batch.thread_retirement_orders(hi - lo, n, contention=1.0)
-            sums[lo:hi] = batched_atomic_fold(x, orders)
-    return scalar_variability_many(sums, s_d)
+    return ao_vs_samples_arrays(
+        np.asarray(x)[None], n_runs, ctx,
+        device=device, threads_per_block=threads_per_block,
+    )[0]

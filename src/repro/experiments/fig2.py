@@ -15,7 +15,7 @@ import numpy as np
 from ..metrics.distribution import estimate_pdf, normality_report
 from ..runtime import RunContext
 from .base import Experiment, register
-from ._sumdist import ao_vs_samples, sample_array, spa_vs_samples
+from ._sumdist import ao_vs_samples_arrays, sample_array, spa_vs_samples_arrays
 
 __all__ = ["Fig2AoPdf"]
 
@@ -43,22 +43,40 @@ class Fig2AoPdf(Experiment):
 
     def _run(self, ctx: RunContext, params: dict):
         data_rng = ctx.data(stream=7)
+        n_arrays, n_runs = params["n_arrays"], params["n_runs"]
+        # Draw the inputs and the per-run scheduler streams in the exact
+        # order the per-array loop consumed them (per array: the AO input,
+        # the SPA input, then n_runs AO streams and n_runs SPA streams), so
+        # the batched (arrays, runs, n) passes below reproduce its bits.
+        xs: dict[str, list] = {"AO": [], "SPA": []}
+        run_rngs: dict[str, list] = {"AO": [], "SPA": []}
+        for _ in range(n_arrays):
+            xs["AO"].append(sample_array(data_rng, params["n_elements"], "uniform"))
+            xs["SPA"].append(sample_array(data_rng, params["spa_n_elements"], "uniform"))
+            run_rngs["AO"].extend(ctx.scheduler() for _ in range(n_runs))
+            run_rngs["SPA"].extend(ctx.scheduler() for _ in range(n_runs))
+        vs_mats = {
+            "AO": ao_vs_samples_arrays(
+                np.stack(xs["AO"]), n_runs, ctx,
+                device=params["device"],
+                threads_per_block=params["threads_per_block"],
+                rngs=run_rngs["AO"],
+            ),
+            "SPA": spa_vs_samples_arrays(
+                np.stack(xs["SPA"]), n_runs, ctx,
+                device=params["device"],
+                threads_per_block=params["threads_per_block"],
+                rngs=run_rngs["SPA"],
+            ),
+        }
         per_impl: dict[str, list] = {"AO": [], "SPA": []}
         reports: dict[str, list] = {"AO": [], "SPA": []}
-        for a in range(params["n_arrays"]):
-            for name, fn, n in (
-                ("AO", ao_vs_samples, params["n_elements"]),
-                ("SPA", spa_vs_samples, params["spa_n_elements"]),
-            ):
-                x = sample_array(data_rng, n, "uniform")
-                vs_a = fn(
-                    x, params["n_runs"], ctx,
-                    device=params["device"],
-                    threads_per_block=params["threads_per_block"],
-                )
+        for a in range(n_arrays):
+            for name in ("AO", "SPA"):
+                vs_a = vs_mats[name][a]
                 per_impl[name].append(vs_a)
                 # Same bias-corrected KL threshold as fig1.
-                thresh = 0.08 + (params["bins"] - 1) / params["n_runs"]
+                thresh = 0.08 + (params["bins"] - 1) / n_runs
                 reports[name].append(
                     normality_report(vs_a, bins=params["bins"], kl_threshold=thresh)
                 )

@@ -20,8 +20,11 @@ from ..ops import (
     cumsum,
     cumsum_runs,
     index_copy,
+    index_copy_runs,
     index_put,
+    index_put_runs,
     scatter,
+    scatter_runs,
 )
 from ..ops.segmented import SegmentPlan
 from ..runtime import RunContext
@@ -130,16 +133,19 @@ class Table5OpSweep(Experiment):
                 jitter = 1.0 + 1e-6 * rng.standard_normal((n, 8)).astype(np.float32)
                 src = per_target[idx] * jitter
                 inp = rng.standard_normal((n_targets, 8)).astype(np.float32)
+                # Batched engine: the n_runs winner races fold through one
+                # canonical output plus the raced segments' recomputed
+                # winners (bit-identical to the scalar per-run loop).
                 plan = SegmentPlan(idx, n_targets)
                 if name == "index_copy":
                     ref = index_copy(inp, 0, idx, src, plan=plan, deterministic=True)
-                    outs = [index_copy(inp, 0, idx, src, plan=plan, ctx=ctx, deterministic=False) for _ in range(n_runs)]
+                    outs = index_copy_runs(inp, 0, idx, src, n_runs, plan=plan, ctx=ctx)
                 elif name == "index_put":
                     ref = index_put(inp, idx, src, plan=plan, deterministic=True)
-                    outs = [index_put(inp, idx, src, plan=plan, ctx=ctx, deterministic=False) for _ in range(n_runs)]
+                    outs = index_put_runs(inp, idx, src, n_runs, plan=plan, ctx=ctx)
                 else:
                     ref = scatter(inp, 0, idx, src, plan=plan, deterministic=True)
-                    outs = [scatter(inp, 0, idx, src, plan=plan, ctx=ctx, deterministic=False) for _ in range(n_runs)]
+                    outs = scatter_runs(inp, 0, idx, src, n_runs, plan=plan, ctx=ctx)
                 vals.append(_mean_ermv(ref, outs))
             results[name] = vals
 

@@ -46,12 +46,17 @@ axis never blows the memory budget at ``n = 10**6``
 Beyond the fold matrices, the same engine batches the per-run *block*
 stage: :func:`block_partials_runs` evaluates every row's two-stage tile
 partials in lockstep (the block half of the run-batched reductions,
-:meth:`repro.reductions.base.ReductionImpl.sum_runs`), and
+:meth:`repro.reductions.base.ReductionImpl.sum_runs` — and the per-array
+partials of the Fig 1–2 ``(arrays, runs, n)`` passes), and
 :func:`repro.gpusim.atomics.batched_atomic_fold` accepts per-run ``(R,
-n)`` values for the combine stage.  The draw-order contracts these batched
-consumers rely on — including the single ``integers(len(chunk_ladder))``
-draw of ``cumsum``'s chunk ladder and the one-stream-per-solve sequence of
-the CG run batch — are catalogued in
+n)`` values for the combine stage.  Above the scalar kernels, the autograd
+stack carries the same run axis end to end: run-batched tensors
+(:mod:`repro.tensor`), R-lockstep layers and a vectorised Adam, with each
+run's ND ``index_add`` randomness drawn from that run's own scheduler
+stream.  The draw-order contracts all these batched consumers rely on —
+the single ``integers(len(chunk_ladder))`` draw of ``cumsum``'s chunk
+ladder, the one-stream-per-solve sequence of the CG run batch, and the
+one-stream-per-training-run layout of the GNN stack — are catalogued in
 :mod:`repro.gpusim.scheduler`'s module docstring.
 """
 

@@ -84,6 +84,19 @@ path draws per run, in run order, exactly what its scalar twin draws:
   :meth:`repro.reductions.base.ReductionImpl.sum_runs` via explicit
   ``rngs`` — which is why runs that converge early simply stop drawing
   without perturbing their neighbours.
+* **GNN training / inference** (:mod:`repro.experiments._gnn`) — one
+  stream per non-deterministic *training run*, drawn at run start and
+  pinned (:func:`repro.tensor.use_kernel_stream`); every ND ``index_add``
+  of that run — the two forward aggregations, then the backward
+  scatter-adds in autograd order — consumes it through the raced-segment
+  sequence above, and unique-index calls consume nothing.  An ND
+  inference pass draws one stream the same way.  The lockstep batch
+  (:class:`repro.tensor.RunBatch`, used by ``train_graphsage_runs`` /
+  ``run_inference_runs``) pre-draws the ``R`` streams in run order and
+  hands each batched kernel invocation the per-run generators via
+  :meth:`repro.ops.segmented.SegmentPlan.sample_run_draws_rngs` — so the
+  lockstep runs' weights, losses and logits are bit-identical to a
+  scalar train-then-infer loop's.
 """
 
 from __future__ import annotations
@@ -553,11 +566,14 @@ class WaveSchedulerBatch:
                 f"{self.launch.total_threads}"
             )
 
-    def _warp_sort_chunks(self, n_runs: int, contention: float, chunk_elems: int):
+    def _warp_sort_chunks(
+        self, n_runs: int, contention: float, chunk_elems: int, rngs=None
+    ):
         """Yield per-chunk ``(lo, hi, korder)`` warp-key argsorts.
 
         Shared machinery of the element- and warp-granular order methods:
-        per-run draws (in run order, per the RNG contract), batched key
+        per-run draws (in run order, per the RNG contract — from explicit
+        ``rngs`` when given, else fresh context streams), batched key
         build, one axis-1 argsort per chunk.
         """
         from ..fp.summation import iter_run_chunks
@@ -568,20 +584,24 @@ class WaveSchedulerBatch:
         w_total = nb * wpb
         sigma = proto._effective_jitter(self.params.block_jitter, contention)
         sigma_w = proto._effective_jitter(self.params.warp_jitter, contention)
+        if rngs is not None and len(rngs) != n_runs:
+            raise SchedulerError(f"expected {n_runs} rngs, got {len(rngs)}")
         for lo, hi in iter_run_chunks(n_runs, chunk_elems, chunk_runs=self.chunk_runs):
             chunk = hi - lo
-            rots, u, rngs = self._draw_block_inputs(chunk, sigma)
+            rots, u, chunk_rngs = self._draw_block_inputs(
+                chunk, sigma, None if rngs is None else list(rngs[lo:hi])
+            )
             uw = None
             if sigma_w > 0:
                 uw = np.empty((chunk, nb, wpb), dtype=np.float32)
-                for r, rng in enumerate(rngs):
+                for r, rng in enumerate(chunk_rngs):
                     rng.random(out=uw[r], dtype=np.float32)
             block_t = proto._block_times_from(rots, u, contention)
             keys = proto._warp_keys_from(block_t, uw, sigma_w)
             yield lo, hi, np.argsort(keys.reshape(chunk, w_total), axis=-1)
 
     def thread_retirement_orders(
-        self, n_runs: int, n_elements: int, contention: float = 1.0
+        self, n_runs: int, n_elements: int, contention: float = 1.0, *, rngs=None
     ) -> np.ndarray:
         """``(n_runs, n_elements)`` retirement orders, one run per row."""
         self._validate_thread_request(n_elements)
@@ -590,14 +610,14 @@ class WaveSchedulerBatch:
         tmpl = _element_template(nb, tpb, warp)
         out = np.empty((n_runs, n_elements), dtype=tmpl.dtype)
         for lo, hi, korder in self._warp_sort_chunks(
-            n_runs, contention, tmpl.size
+            n_runs, contention, tmpl.size, rngs
         ):
             flat = tmpl[korder].reshape(hi - lo, -1)
             out[lo:hi] = flat[flat < n_elements].reshape(hi - lo, n_elements)
         return out
 
     def thread_retirement_warp_orders(
-        self, n_runs: int, n_elements: int, contention: float = 1.0
+        self, n_runs: int, n_elements: int, contention: float = 1.0, *, rngs=None
     ) -> np.ndarray:
         """``(n_runs, n_elements / warp)`` retirement orders at warp
         granularity.
@@ -627,6 +647,6 @@ class WaveSchedulerBatch:
         n_warps = n_elements // warp
         w_total = self.launch.n_blocks * max(1, (tpb + warp - 1) // warp)
         out = np.empty((n_runs, n_warps), dtype=np.int64)
-        for lo, hi, korder in self._warp_sort_chunks(n_runs, contention, w_total):
+        for lo, hi, korder in self._warp_sort_chunks(n_runs, contention, w_total, rngs):
             out[lo:hi] = korder[korder < n_warps].reshape(hi - lo, n_warps)
         return out

@@ -34,17 +34,27 @@ def nll_loss(log_probs: Tensor, target, reduction: str = "mean") -> Tensor:
         ``"mean"`` or ``"sum"``.
     """
     t = np.asarray(target)
-    if log_probs.ndim != 2:
+    lead = 1 if log_probs.runs is not None else 0
+    if log_probs.ndim != 2 + lead:
         raise ShapeError(f"log_probs must be (N, C), got {log_probs.shape}")
-    n, c = log_probs.shape
+    n, c = log_probs.shape[lead:]
     if t.shape != (n,):
         raise ShapeError(f"target must be ({n},), got {t.shape}")
     if t.size and (t.min() < 0 or t.max() >= c):
         raise ConfigurationError(f"target classes must be in [0, {c})")
     if reduction not in ("mean", "sum"):
         raise ConfigurationError(f"unknown reduction {reduction!r}")
-    picked = log_probs[np.arange(n), t]
-    loss = -(picked.sum())
+    if lead:
+        # Lockstep runs: pick each run's target log-probs and reduce to one
+        # scalar per run — bit-identical per run to the scalar loss.  The
+        # pick's mixed basic/advanced indexing returns a stride-transposed
+        # copy; contiguous() restores the scalar twin's row layout so the
+        # per-run pairwise sums fold identically.
+        picked = log_probs[(slice(None), np.arange(n), t)].contiguous()
+        loss = -(picked.sum(dim=-1))
+    else:
+        picked = log_probs[np.arange(n), t]
+        loss = -(picked.sum())
     if reduction == "mean":
         loss = loss * (1.0 / max(n, 1))
     return loss
@@ -67,5 +77,9 @@ def dropout(x: Tensor, p: float = 0.5, training: bool = True) -> Tensor:
     if not training or p == 0.0:
         return x
     rng = get_context().init(stream=0xD209)
-    mask = (rng.random(x.shape) >= p).astype(x.dtype) / (1.0 - p)
+    # The mask covers the logical shape only: lockstep runs share the one
+    # run-stable mask their scalar twins would each draw (broadcast over
+    # the run axis), keeping batched and scalar bits identical.
+    shape = x.shape[1:] if x.runs is not None else x.shape
+    mask = (rng.random(shape) >= p).astype(x.dtype) / (1.0 - p)
     return x * Tensor(mask, dtype=x.dtype)

@@ -46,10 +46,20 @@ class Linear(Module):
             self.bias = None
 
     def forward(self, x: Tensor) -> Tensor:
-        """Apply the affine map to ``(N, in_features)`` input."""
+        """Apply the affine map to ``(N, in_features)`` input.
+
+        With run-batched parameters (``(R, out, in)`` after
+        :meth:`~repro.nn.module.Module.expand_runs`) the matmul runs all
+        ``R`` lockstep runs as one stacked GEMM, bit-identical per run to
+        the scalar affine map; the per-run bias is lifted over the row
+        axis so it broadcasts within each run only.
+        """
         out = x @ self.weight.T
-        if self.bias is not None:
-            out = out + self.bias
+        bias = self.bias
+        if bias is not None:
+            if bias.runs is not None:
+                bias = bias.reshape(bias.runs, 1, self.out_features)
+            out = out + bias
         return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -1,4 +1,10 @@
-"""Loss modules."""
+"""Loss modules.
+
+Both losses delegate to :mod:`repro.nn.functional` and inherit its run-axis
+handling: on run-batched ``(R, N, C)`` log-probabilities/logits they return
+an ``(R,)`` tensor holding one scalar loss per lockstep run, each
+bit-identical to the scalar loss of that run's twin.
+"""
 
 from __future__ import annotations
 

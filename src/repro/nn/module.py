@@ -62,6 +62,26 @@ class Module:
         """Total scalar parameter count."""
         return sum(p.size for p in self.parameters())
 
+    def expand_runs(self, n_runs: int) -> "Module":
+        """Tile every parameter with a leading run axis (lockstep runs).
+
+        Each parameter's data becomes the ``(n_runs, *shape)`` stack of
+        ``n_runs`` initially identical, independently trainable copies —
+        the R-lockstep training mode of the batched run-axis engine, where
+        one optimizer step advances every simulated run at once.  Must be
+        called before constructing the optimizer (state buffers mirror the
+        parameter shapes at construction).
+        """
+        if n_runs < 1:
+            raise ConfigurationError(f"n_runs must be >= 1, got {n_runs}")
+        for p in self.parameters():
+            if p.runs is not None:
+                raise ConfigurationError("parameters already carry a run axis")
+            p.data = np.repeat(p.data[None], n_runs, axis=0)
+            p.runs = int(n_runs)
+            p.grad = None
+        return self
+
     # ----------------------------------------------------------- state dict
     def state_dict(self) -> dict[str, np.ndarray]:
         """Copy of all parameter arrays, keyed by dotted name."""
@@ -87,9 +107,19 @@ class Module:
 
     def flat_weights(self) -> np.ndarray:
         """All parameters concatenated into one vector — the unit of
-        comparison for the paper's model-weight variability metrics."""
-        parts = [p.data.reshape(-1) for p in self.parameters()]
-        return np.concatenate(parts) if parts else np.empty(0, dtype=np.float32)
+        comparison for the paper's model-weight variability metrics.
+
+        Run-batched modules return the ``(R, P)`` per-run weight matrix
+        instead; row ``r`` is byte-identical to the flat weights of run
+        ``r``'s scalar twin.
+        """
+        params = list(self.parameters())
+        if not params:
+            return np.empty(0, dtype=np.float32)
+        runs = params[0].runs
+        if runs is not None:
+            return np.concatenate([p.data.reshape(runs, -1) for p in params], axis=1)
+        return np.concatenate([p.data.reshape(-1) for p in params])
 
     # ----------------------------------------------------------------- mode
     def train(self, mode: bool = True) -> "Module":

@@ -4,6 +4,17 @@ Updates are plain elementwise NumPy operations — deterministic given the
 gradients.  Any run-to-run weight divergence therefore traces back to the
 kernels that produced the gradients, which is the causal isolation the
 paper's Section V experiment needs.
+
+Run-batched (lockstep) training: when parameters carry a leading run axis
+(:meth:`repro.nn.module.Module.expand_runs`), every state buffer —
+momentum, first/second Adam moments — is allocated as the matching
+``(R, *shape)`` stack, and one ``step()`` advances all ``R`` simulated
+runs at once.  Because the update arithmetic is purely elementwise, run
+``r``'s slice of every state and parameter stays bit-identical to a
+scalar optimizer driving run ``r`` alone — the optimizer half of the
+batched run-axis engine's bit-exactness contract.  Construct the
+optimizer *after* ``expand_runs`` (state shapes are captured at
+construction; ``step()`` checks the match).
 """
 
 from __future__ import annotations
@@ -14,6 +25,17 @@ from ..errors import ConfigurationError
 from .module import Parameter
 
 __all__ = ["Optimizer", "SGD", "Adam"]
+
+
+def _check_state_shape(p, state: np.ndarray) -> None:
+    """Catch parameters re-shaped (e.g. ``expand_runs``) after the
+    optimizer captured its state buffers."""
+    if state.shape != p.data.shape:
+        raise ConfigurationError(
+            f"optimizer state shape {state.shape} does not match parameter "
+            f"shape {p.data.shape}; expand the run axis before constructing "
+            "the optimizer"
+        )
 
 
 class Optimizer:
@@ -54,6 +76,7 @@ class SGD(Optimizer):
         for p, v in zip(self.params, self._velocity):
             if p.grad is None:
                 continue
+            _check_state_shape(p, v)
             g = p.grad
             if self.weight_decay:
                 g = g + self.weight_decay * p.data
@@ -95,6 +118,7 @@ class Adam(Optimizer):
         for p, m, v in zip(self.params, self._m, self._v):
             if p.grad is None:
                 continue
+            _check_state_shape(p, m)
             g = p.grad.astype(np.float64)
             if self.weight_decay:
                 g = g + self.weight_decay * p.data

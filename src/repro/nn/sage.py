@@ -74,13 +74,16 @@ class SAGEConv(Module):
 
         The ``index_add`` here is the non-deterministic kernel; in mean
         mode the sum is divided by the in-degree (clamped at 1), a
-        deterministic elementwise op.
+        deterministic elementwise op.  In a lockstep run batch the update
+        folds every run with its own scheduler stream over the shared
+        zeros base, so each run's aggregation is bit-identical to its
+        scalar twin's.
         """
-        num_nodes = x.shape[0]
+        num_nodes = x.shape[-2]
         e = _check_edges(edge_index, num_nodes)
         src, dst = e[0], e[1]
         messages = x.gather_rows(src)
-        zeros = Tensor(np.zeros_like(x.data))
+        zeros = Tensor(np.zeros(x.shape[-2:], dtype=x.data.dtype))
         summed = zeros.index_add(dst, messages)
         if self.aggr == "sum":
             return summed

@@ -25,8 +25,16 @@ Kernels operate on plain NumPy arrays; the autograd layer in
 from .segmented import SegmentPlan, segmented_fold
 from .nondet import ContentionModel, OP_CONTENTION
 from .registry import OpSpec, op_spec, all_op_specs, documented_nondeterministic_ops
-from .scatter import scatter, scatter_reduce, scatter_reduce_runs
-from .index_ops import index_add, index_add_runs, index_copy, index_put
+from .scatter import scatter, scatter_runs, scatter_reduce, scatter_reduce_runs
+from .index_ops import (
+    index_add,
+    index_add_batch,
+    index_add_runs,
+    index_copy,
+    index_copy_runs,
+    index_put,
+    index_put_runs,
+)
 from .cumsum import cumsum, cumsum_runs
 from .conv_transpose import (
     conv_transpose1d,
@@ -46,12 +54,16 @@ __all__ = [
     "all_op_specs",
     "documented_nondeterministic_ops",
     "scatter",
+    "scatter_runs",
     "scatter_reduce",
     "scatter_reduce_runs",
     "index_add",
+    "index_add_batch",
     "index_add_runs",
     "index_copy",
+    "index_copy_runs",
     "index_put",
+    "index_put_runs",
     "cumsum",
     "cumsum_runs",
     "conv_transpose1d",

@@ -23,9 +23,17 @@ from ..errors import ConfigurationError, ShapeError
 from ..runtime import RunContext, get_context
 from .nondet import OP_CONTENTION, ContentionModel
 from .registry import resolve_determinism
-from .segmented import SegmentPlan, sampled_fold_runs
+from .segmented import SegmentPlan, sampled_copy_runs, sampled_fold_runs
 
-__all__ = ["index_add", "index_add_runs", "index_copy", "index_put"]
+__all__ = [
+    "index_add",
+    "index_add_runs",
+    "index_add_batch",
+    "index_copy",
+    "index_copy_runs",
+    "index_put",
+    "index_put_runs",
+]
 
 
 def _validate(input_, index, source, dim):
@@ -122,6 +130,75 @@ def index_add_runs(
     )
 
 
+def index_add_batch(
+    input_,
+    dim: int,
+    index,
+    source,
+    *,
+    alpha: float = 1.0,
+    deterministic: bool | None = None,
+    plan: SegmentPlan | None = None,
+    model: ContentionModel | None = None,
+    rngs=None,
+    ctx: RunContext | None = None,
+    n_runs: int | None = None,
+    chunk_runs: int | None = None,
+) -> np.ndarray:
+    """Run-batched :func:`index_add` over **per-run** (or shared) sources.
+
+    The GNN training kernel of the batched run-axis engine: ``source`` may
+    carry a leading run axis (``(R, n, *payload)`` — every lockstep run
+    contributes its own diverged values), or be shared (``(n, *payload)``)
+    with the runs diverging through the sampled fold orders alone.  On the
+    non-deterministic path each run's randomness comes from its own
+    generator in ``rngs`` (the one-stream-per-run training contract; see
+    :mod:`repro.gpusim.scheduler`) or, when ``rngs`` is omitted, from one
+    fresh context stream per run in run order.  Row ``r`` of the result is
+    bit-identical to the scalar
+    ``index_add(input_, dim, index, source[r], rng=rngs[r])`` call.
+
+    ``input_`` is the shared ``include_self`` base (``(T, *payload)``).
+    """
+    src = np.asarray(source)
+    if n_runs is None:
+        if rngs is None:
+            raise ConfigurationError("index_add_batch needs n_runs or rngs")
+        n_runs = len(rngs)
+    # input_ is always the shared (T, *payload) base, so the source is
+    # run-batched exactly when it carries one extra leading axis.
+    batched_src = src.ndim == np.asarray(input_).ndim + 1
+    if batched_src and src.shape[0] != n_runs:
+        raise ShapeError(
+            f"batched source leading axis {src.shape[0]} != n_runs {n_runs}"
+        )
+    inp, idx, _ = _validate(input_, index, src[0] if batched_src else src, dim)
+    det = resolve_determinism("index_add", deterministic)
+    if plan is None:
+        plan = SegmentPlan(idx, inp.shape[0])
+    vals = src if alpha == 1.0 else src * np.asarray(alpha, dtype=src.dtype)
+    draws = None
+    if not det:
+        model = model or OP_CONTENTION["index_add"]
+        if rngs is not None:
+            if len(rngs) != n_runs:
+                raise ConfigurationError(f"expected {n_runs} rngs, got {len(rngs)}")
+            draws = plan.sample_run_draws_rngs(rngs, model)
+        else:
+            draws = plan.sample_run_draws(n_runs, model, ctx or get_context())
+    if batched_src:
+        folded = plan.fold_runs_values(
+            vals, draws, reduce="sum", init=inp, chunk_runs=chunk_runs
+        )
+    elif draws is None:
+        folded = np.repeat(
+            plan.fold(vals, reduce="sum", init=inp)[None], n_runs, axis=0
+        )
+    else:
+        folded = plan.fold_runs_sparse(vals, draws, reduce="sum", init=inp)
+    return folded.astype(inp.dtype, copy=False)
+
+
 def index_copy(
     input_,
     dim: int,
@@ -187,4 +264,66 @@ def index_put(
     return index_copy(
         input_, 0, index, values,
         deterministic=deterministic, plan=plan, model=model, ctx=ctx, rng=rng,
+    )
+
+
+def index_copy_runs(
+    input_,
+    dim: int,
+    index,
+    source,
+    n_runs: int,
+    *,
+    plan: SegmentPlan | None = None,
+    model: ContentionModel | None = None,
+    ctx: RunContext | None = None,
+    stacked: bool = False,
+):
+    """``n_runs`` non-deterministic :func:`index_copy` executions.
+
+    The batched run-axis engine for the Table 5 winner races: per-run
+    randomness is drawn exactly like ``n_runs`` scalar calls (one scheduler
+    stream per run — raced-target Bernoulli, then the segment shuffle
+    keys), but only the raced segments' winning writers are recomputed on
+    top of one shared canonical output
+    (:func:`repro.ops.segmented.sampled_copy_runs`).  Each returned array
+    is bit-identical to the corresponding scalar
+    ``index_copy(..., deterministic=False)`` call.
+    """
+    inp, idx, src = _validate(input_, index, source, dim)
+    if plan is None:
+        plan = SegmentPlan(idx, inp.shape[0])
+    return sampled_copy_runs(
+        plan, src, n_runs, model or OP_CONTENTION["index_copy"],
+        ctx or get_context(), init=inp, stacked=stacked,
+    )
+
+
+def index_put_runs(
+    input_,
+    index,
+    values,
+    n_runs: int,
+    *,
+    accumulate: bool = False,
+    plan: SegmentPlan | None = None,
+    model: ContentionModel | None = None,
+    ctx: RunContext | None = None,
+    stacked: bool = False,
+):
+    """``n_runs`` non-deterministic :func:`index_put` executions.
+
+    ``accumulate=True`` routes to :func:`index_add_runs`; ``False`` to the
+    last-writer-wins engine of :func:`index_copy_runs`, both under the
+    ``index_put`` contention calibration.
+    """
+    model = model or OP_CONTENTION["index_put"]
+    if accumulate:
+        return index_add_runs(
+            input_, 0, index, values, n_runs,
+            plan=plan, model=model, ctx=ctx, stacked=stacked,
+        )
+    return index_copy_runs(
+        input_, 0, index, values, n_runs,
+        plan=plan, model=model, ctx=ctx, stacked=stacked,
     )

@@ -24,9 +24,9 @@ from ..errors import ConfigurationError, ShapeError
 from ..runtime import RunContext, get_context
 from .nondet import OP_CONTENTION, ContentionModel
 from .registry import resolve_determinism
-from .segmented import SegmentPlan, sampled_fold_runs
+from .segmented import SegmentPlan, sampled_copy_runs, sampled_fold_runs
 
-__all__ = ["scatter", "scatter_reduce", "scatter_reduce_runs"]
+__all__ = ["scatter", "scatter_runs", "scatter_reduce", "scatter_reduce_runs"]
 
 _REDUCES = ("sum", "mean", "prod", "amax", "amin")
 
@@ -213,3 +213,34 @@ def scatter(
         ends = plan.segment_ends[has] - 1
         out[np.flatnonzero(has)] = vals[ends]
     return out
+
+
+def scatter_runs(
+    input_,
+    dim: int,
+    index,
+    src,
+    n_runs: int,
+    *,
+    plan: SegmentPlan | None = None,
+    model: ContentionModel | None = None,
+    ctx: RunContext | None = None,
+    stacked: bool = False,
+):
+    """``n_runs`` non-deterministic :func:`scatter` executions.
+
+    The batched run-axis engine for the Table 5 winner races: per-run
+    randomness is drawn exactly like ``n_runs`` scalar calls, but only the
+    raced segments' winning writers are recomputed on top of one shared
+    canonical output (:func:`repro.ops.segmented.sampled_copy_runs`).
+    Each returned array is bit-identical to the corresponding scalar
+    ``scatter(..., deterministic=False)`` call.  ``stacked=True`` returns
+    one ``(n_runs, *out_shape)`` array instead of a list.
+    """
+    inp, idx, s = _validate(input_, index, src, dim)
+    if plan is None:
+        plan = SegmentPlan(idx, inp.shape[0])
+    return sampled_copy_runs(
+        plan, s, n_runs, model or OP_CONTENTION["scatter"],
+        ctx or get_context(), init=inp, stacked=stacked,
+    )

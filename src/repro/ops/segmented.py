@@ -20,6 +20,14 @@ module evaluates such folds with the order under explicit control:
 The plan is built once per index array and reused across runs — the
 argsort dominates setup, the per-run cost is one lexsort over raced
 segments plus the fold.
+
+Run-batched entry points: :meth:`SegmentPlan.fold_runs` (shared values,
+explicit order matrices), :meth:`SegmentPlan.fold_runs_sparse` (shared
+values, contention-sparse raced refold), :meth:`SegmentPlan.
+fold_runs_values` (per-run values — the GNN training case) and
+:func:`sampled_copy_runs` (last-writer-wins winner races), all drawing
+per run in run order via :meth:`SegmentPlan.sample_run_draws` /
+:meth:`SegmentPlan.sample_run_draws_rngs`.
 """
 
 from __future__ import annotations
@@ -66,6 +74,7 @@ def _stratified_refold(
     init_rows: np.ndarray | None,
     ufunc: np.ufunc,
     identity,
+    run_of_seg: np.ndarray | None = None,
 ) -> np.ndarray:
     """Bit-exact re-fold of an arbitrary batch of raced segments.
 
@@ -101,18 +110,24 @@ def _stratified_refold(
         Source ids in canonical (target, rank) order; segment spans index
         into it.
     vals:
-        ``(n_sources, *payload)`` contributions in the fold dtype.
+        ``(n_sources, *payload)`` contributions in the fold dtype — or,
+        with ``run_of_seg``, ``(n_runs, n_sources, *payload)`` per-run
+        contributions (the run-batched GNN training case, where every run
+        folds its own diverged values).
     init_rows:
         Optional ``(S, *payload)`` slot-0 (include-self) values.
     ufunc, identity:
         The reduce's fold operator and identity element.
+    run_of_seg:
+        Optional ``(S,)`` run index of each segment; selects the run's row
+        of per-run ``vals``.
 
     Returns
     -------
     numpy.ndarray
         ``(S, *payload)`` folded segment values.
     """
-    payload = vals.shape[1:]
+    payload = vals.shape[2:] if run_of_seg is not None else vals.shape[1:]
     dtype = vals.dtype
     folded = np.empty((seg_count.size,) + payload, dtype=dtype)
     for k in np.unique(seg_count):
@@ -139,7 +154,10 @@ def _stratified_refold(
             mat = np.full((sel.size, width) + payload, identity, dtype=dtype)
             if init_rows is not None:
                 mat[:, 0] = init_rows[sel]
-            mat[:, 1 : k + 1] = vals[src_k]
+            if run_of_seg is None:
+                mat[:, 1 : k + 1] = vals[src_k]
+            else:
+                mat[:, 1 : k + 1] = vals[run_of_seg[sel, None], src_k]
             folded[sel] = _fold_axis(mat, ufunc, axis=1)
     return folded
 
@@ -296,6 +314,24 @@ class SegmentPlan:
         ascending target-then-rank order), but returns the raw draws
         instead of materialising ``(n_runs, n_sources)`` order matrices.
         """
+        scheduler = ctx.scheduler
+        return self._draw_runs((scheduler() for _ in range(n_runs)), model)
+
+    def sample_run_draws_rngs(
+        self, rngs, model
+    ) -> list[tuple[np.ndarray, np.ndarray | None]]:
+        """:meth:`sample_run_draws` over *explicit* per-run generators.
+
+        The persistent-stream mode of the batched scatter front end (the
+        GNN training contract): each simulated run owns one scheduler
+        stream for its whole kernel *sequence*, and every batched kernel
+        invocation consumes each run's stream exactly like the scalar
+        kernel would — the raced-target Bernoulli, then one uniform key
+        per position of every raced segment.
+        """
+        return self._draw_runs(rngs, model)
+
+    def _draw_runs(self, rngs, model) -> list[tuple[np.ndarray, np.ndarray | None]]:
         draws: list[tuple[np.ndarray, np.ndarray | None]] = []
         # The race probability is run-invariant: hoist it so the per-run
         # loop only performs the contracted draws (the Bernoulli compare
@@ -303,9 +339,7 @@ class SegmentPlan:
         q = model.race_probability(self.n_sources, self.n_targets)
         mt = self.multi_targets
         mt_counts = self.counts[mt]
-        scheduler = ctx.scheduler
-        for _ in range(n_runs):
-            rng = scheduler()
+        for rng in rngs:
             if q <= 0.0 or mt.size == 0:
                 draws.append((mt[:0], None))
                 continue
@@ -521,24 +555,13 @@ class SegmentPlan:
         n_runs = len(draws)
         out = np.empty((n_runs,) + canonical.shape, dtype=canonical.dtype)
         out[:] = canonical
-        seg_t_parts: list[np.ndarray] = []
-        seg_r_parts: list[np.ndarray] = []
-        key_parts: list[np.ndarray] = []
-        for r, (raced, keys) in enumerate(draws):
-            if raced.size:
-                seg_t_parts.append(raced)
-                seg_r_parts.append(np.full(raced.size, r, dtype=np.int64))
-                key_parts.append(keys)
-        if not seg_t_parts:
+        seg_targets, seg_runs, keys = _concat_draws(draws)
+        if seg_targets is None:
             return out
-        seg_targets = np.concatenate(seg_t_parts)
-        seg_runs = np.concatenate(seg_r_parts)
-        keys = np.concatenate(key_parts)
         seg_counts = self.counts[seg_targets]
-        n_seg = seg_targets.size
         # Key offsets: keys are concatenated in (run, target, rank) order,
         # so segment s's keys span [pos_off[s], pos_off[s] + count).
-        pos_off = np.zeros(n_seg, dtype=np.int64)
+        pos_off = np.zeros(seg_targets.size, dtype=np.int64)
         np.cumsum(seg_counts[:-1], out=pos_off[1:])
         payload = vals.shape[1:]
         dtype = vals.dtype if np.issubdtype(vals.dtype, np.floating) else np.float64
@@ -565,6 +588,223 @@ class SegmentPlan:
         )
         out[seg_runs, seg_targets] = folded
         return out
+
+    def fold_runs_values(
+        self,
+        values: np.ndarray,
+        draws: list[tuple[np.ndarray, np.ndarray | None]] | None = None,
+        *,
+        reduce: str = "sum",
+        init: np.ndarray | None = None,
+        chunk_runs: int | None = None,
+    ) -> np.ndarray:
+        """Batched fold of **per-run values**: row ``r`` folds ``values[r]``.
+
+        The per-run-values half of the batched run-axis engine — the GNN
+        training case, where after the first non-deterministic kernel every
+        run's contributions have diverged, so the runs share the *plan* but
+        not the *values*.  Each run's fold is bit-identical to
+        ``self.fold(values[r], order=source_order(<draws[r]>), init=init)``:
+        the canonical fold of all runs is evaluated as one lockstep fold
+        matrix (chunked along the run axis), and the raced segments of each
+        run are then re-folded with that run's own values through the same
+        stratified machinery as :meth:`fold_runs_sparse`.
+
+        Parameters
+        ----------
+        values:
+            ``(n_runs, n_sources, *payload)`` per-run contributions.
+        draws:
+            Per-run ``(raced_targets, keys)`` pairs from
+            :meth:`sample_run_draws` / :meth:`sample_run_draws_rngs`;
+            ``None`` folds every run in canonical order (the deterministic
+            lockstep path).
+        reduce, init:
+            As in :meth:`fold` (``init`` is shared by all runs).
+        chunk_runs:
+            Memory knob bounding the ``(chunk, n_targets, k_max+1,
+            *payload)`` canonical fold matrices.
+
+        Returns
+        -------
+        numpy.ndarray
+            ``(n_runs, n_targets, *payload)`` folded values.
+        """
+        from ..fp.summation import iter_run_chunks
+
+        if reduce not in _UFUNC:
+            raise ConfigurationError(
+                f"unknown reduce {reduce!r}; choose from {sorted(_UFUNC)}"
+            )
+        vals = np.asarray(values)
+        if vals.ndim < 2 or vals.shape[1] != self.n_sources:
+            raise ShapeError(
+                f"values must be (runs, n_sources={self.n_sources}, *payload), "
+                f"got shape {vals.shape}"
+            )
+        n_runs = vals.shape[0]
+        if draws is not None and len(draws) != n_runs:
+            raise ConfigurationError(
+                f"got {len(draws)} draws for {n_runs} runs"
+            )
+        payload = vals.shape[2:]
+        dtype = vals.dtype if np.issubdtype(vals.dtype, np.floating) else np.float64
+        ufunc = _UFUNC[reduce]
+        identity = np.asarray(_IDENTITY[reduce], dtype=dtype)[()]
+        vals = vals.astype(dtype, copy=False)
+        init_arr = None
+        if init is not None:
+            init_arr = np.asarray(init, dtype=dtype)
+            if init_arr.shape != (self.n_targets,) + payload:
+                raise ShapeError(
+                    f"init shape {init_arr.shape} != {(self.n_targets,) + payload}"
+                )
+        out = np.empty((n_runs, self.n_targets) + payload, dtype=dtype)
+        elems_per_run = (
+            self.n_targets * (self.k_max + 1)
+            * int(np.prod(payload, dtype=np.int64) or 1)
+        )
+        for lo, hi in iter_run_chunks(n_runs, elems_per_run, chunk_runs=chunk_runs):
+            chunk = hi - lo
+            mat = np.full(
+                (chunk, self.n_targets, self.k_max + 1) + payload, identity, dtype=dtype
+            )
+            if init_arr is not None:
+                mat[:, :, 0] = init_arr
+            if self.n_sources:
+                mat[:, self.sorted_targets, self.ranks + 1] = vals[lo:hi][:, self.order]
+            out[lo:hi] = _fold_axis(mat, ufunc, axis=2)
+        if draws is None:
+            return out
+        seg_targets, seg_runs, keys = _concat_draws(draws)
+        if seg_targets is None:
+            return out
+        seg_counts = self.counts[seg_targets]
+        pos_off = np.zeros(seg_targets.size, dtype=np.int64)
+        np.cumsum(seg_counts[:-1], out=pos_off[1:])
+        folded = _stratified_refold(
+            seg_start=self.segment_starts[seg_targets],
+            seg_count=seg_counts,
+            seg_pad=seg_counts < self.k_max,
+            pos_off=pos_off,
+            keys=keys,
+            order=self.order,
+            vals=vals,
+            init_rows=None if init_arr is None else init_arr[seg_targets],
+            ufunc=ufunc,
+            identity=identity,
+            run_of_seg=seg_runs,
+        )
+        out[seg_runs, seg_targets] = folded
+        return out
+
+    def winner_sources_runs(
+        self, draws: list[tuple[np.ndarray, np.ndarray | None]]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-run last-writer winners of the raced segments.
+
+        The copy-semantics (``scatter`` / ``index_copy`` /
+        ``index_put(accumulate=False)``) half of the batched engine: a
+        raced target's winner is the source occupying the *last* position
+        of its segment after the stable shuffle-key sort — exactly the
+        writer the scalar kernels' global
+        ``lexsort((keys, targets))`` puts last.  Un-raced targets keep the
+        canonical winner and are not returned.
+
+        Returns
+        -------
+        (seg_runs, seg_targets, winners):
+            Parallel arrays: for each raced ``(run, target)`` pair, the
+            winning source id.
+        """
+        seg_targets, seg_runs, keys = _concat_draws(draws)
+        if seg_targets is None:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty
+        seg_counts = self.counts[seg_targets]
+        pos_off = np.zeros(seg_targets.size, dtype=np.int64)
+        np.cumsum(seg_counts[:-1], out=pos_off[1:])
+        seg_start = self.segment_starts[seg_targets]
+        winners = np.empty(seg_targets.size, dtype=np.int64)
+        for k in np.unique(seg_counts):
+            k = int(k)
+            sel = np.flatnonzero(seg_counts == k)
+            lane = np.arange(k)
+            src_k = self.order[seg_start[sel, None] + lane]
+            keys_k = keys[pos_off[sel, None] + lane]
+            if k == 2:
+                # Stable sort of two keys: the second wins unless the first
+                # strictly beats it (ties keep canonical order, so the
+                # later writer still wins — lexsort semantics).
+                winners[sel] = np.where(
+                    keys_k[:, 1] < keys_k[:, 0], src_k[:, 0], src_k[:, 1]
+                )
+            else:
+                last = np.argsort(keys_k, axis=1, kind="stable")[:, -1]
+                winners[sel] = np.take_along_axis(src_k, last[:, None], axis=1)[:, 0]
+        return seg_runs, seg_targets, winners
+
+
+def _concat_draws(
+    draws: list[tuple[np.ndarray, np.ndarray | None]]
+) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]:
+    """Concatenate per-run ``(raced, keys)`` draws into parallel
+    ``(seg_targets, seg_runs, keys)`` arrays (``(None, None, None)`` when
+    no run raced)."""
+    seg_t_parts: list[np.ndarray] = []
+    seg_r_parts: list[np.ndarray] = []
+    key_parts: list[np.ndarray] = []
+    for r, (raced, keys) in enumerate(draws):
+        if raced.size:
+            seg_t_parts.append(raced)
+            seg_r_parts.append(np.full(raced.size, r, dtype=np.int64))
+            key_parts.append(keys)
+    if not seg_t_parts:
+        return None, None, None
+    return (
+        np.concatenate(seg_t_parts),
+        np.concatenate(seg_r_parts),
+        np.concatenate(key_parts),
+    )
+
+
+def sampled_copy_runs(
+    plan: SegmentPlan,
+    values,
+    n_runs: int,
+    model,
+    ctx,
+    *,
+    init,
+    stacked: bool = False,
+):
+    """``n_runs`` copy-semantics (last-writer-wins) scatter executions.
+
+    The batched twin of looping ``scatter`` / ``index_copy`` with
+    ``deterministic=False``: per-run randomness is drawn exactly like the
+    scalar calls (one scheduler stream per run — raced-target Bernoulli,
+    then the segment shuffle keys), but instead of materialising and
+    sorting ``(R, n)`` order matrices, only the raced segments' *winners*
+    are recomputed (:meth:`SegmentPlan.winner_sources_runs`) on top of one
+    shared canonical output.  Each returned array is bit-identical to the
+    corresponding scalar call.  ``stacked=True`` returns one
+    ``(n_runs, *out_shape)`` array instead of a list.
+    """
+    vals = np.asarray(values)
+    inp = np.asarray(init)
+    canonical = np.array(inp, copy=True)
+    if plan.n_sources:
+        has = plan.counts > 0
+        ends = plan.segment_ends[has] - 1
+        canonical[np.flatnonzero(has)] = vals[plan.order[ends]]
+    draws = plan.sample_run_draws(n_runs, model, ctx)
+    outs = np.repeat(canonical[None], n_runs, axis=0)
+    seg_runs, seg_targets, winners = plan.winner_sources_runs(draws)
+    if seg_runs.size:
+        outs[seg_runs, seg_targets] = vals[winners]
+    if stacked:
+        return outs
+    return [np.array(outs[r]) for r in range(n_runs)]
 
 
 def sampled_fold_runs(

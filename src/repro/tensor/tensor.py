@@ -8,6 +8,23 @@ Determinism note: host-side gradient *accumulation* (a parameter used
 twice) is a fixed-order fold here — the paper's variability enters through
 the kernels themselves, specifically :func:`repro.ops.index_add` in the
 backward pass of :meth:`Tensor.gather_rows` and in forward aggregations.
+
+The run axis
+------------
+A tensor may carry a leading **run axis** (``runs=R``): its data is the
+``(R, *logical_shape)`` stack of ``R`` simulated runs advancing in
+lockstep, one independent training/inference run per row.  Everything
+downstream stays bit-identical per row to ``R`` scalar executions: the
+elementwise ops, broadcast reductions and stacked matmuls all perform the
+same per-slice IEEE arithmetic, and the non-deterministic kernels draw
+each run's randomness from that run's own scheduler stream (the
+one-stream-per-run contract; see :mod:`repro.tensor.runbatch` and the
+draw-contract catalogue in :mod:`repro.gpusim.scheduler`).  Axis
+arguments (``sum(dim=...)``, ``log_softmax(dim=...)``) address the
+*logical* shape — the run axis is implicit and is never reduced.  The run
+axis propagates through ops whenever the output's leading axis still
+holds the runs; reductions to one scalar per run yield ``(R,)`` tensors,
+on which ``backward()`` seeds one unit gradient per run.
 """
 
 from __future__ import annotations
@@ -19,7 +36,8 @@ from typing import Callable, Iterator, Sequence
 import numpy as np
 
 from .. import ops as _ops
-from ..errors import AutogradError, ShapeError
+from ..errors import AutogradError, ConfigurationError, ShapeError
+from .runbatch import active_run_batch, current_kernel_stream
 
 __all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled"]
 
@@ -53,6 +71,19 @@ def _as_data(value, dtype=None) -> np.ndarray:
     raise ShapeError(f"unsupported tensor dtype {arr.dtype}")
 
 
+def _validate_gather_index(idx: np.ndarray, n_rows: int) -> None:
+    """The scalar :func:`repro.ops.gather_rows` checks, applied to the
+    run-batched gather (whose data path is a plain fancy index)."""
+    if idx.ndim != 1:
+        raise ShapeError(f"index must be 1-D, got shape {idx.shape}")
+    if not np.issubdtype(idx.dtype, np.integer):
+        raise ConfigurationError(f"index must be integer, got dtype {idx.dtype}")
+    if idx.size and (idx.min() < 0 or idx.max() >= n_rows):
+        raise ConfigurationError(
+            f"index values must be in [0, {n_rows}); got [{idx.min()}, {idx.max()}]"
+        )
+
+
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     """Reduce ``grad`` back to ``shape`` after broadcasting."""
     if grad.shape == shape:
@@ -78,14 +109,23 @@ class Tensor:
         Track operations for reverse-mode differentiation.
     dtype:
         Optional explicit dtype (float32/float64).
+    runs:
+        Optional run-axis length: ``data`` is the ``(runs, *logical)``
+        stack of that many lockstep runs (see the module docstring).
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_grad_fn", "_op_name")
+    __slots__ = ("data", "grad", "requires_grad", "runs", "_parents", "_grad_fn", "_op_name")
 
-    def __init__(self, data, requires_grad: bool = False, dtype=None) -> None:
+    def __init__(self, data, requires_grad: bool = False, dtype=None, runs: int | None = None) -> None:
         self.data = _as_data(data, dtype)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad)
+        if runs is not None and (self.data.ndim < 1 or self.data.shape[0] != runs):
+            raise ShapeError(
+                f"run-batched data must lead with the run axis ({runs}), "
+                f"got shape {self.data.shape}"
+            )
+        self.runs: int | None = None if runs is None else int(runs)
         self._parents: tuple[Tensor, ...] = ()
         self._grad_fn: Callable[[np.ndarray], Sequence[np.ndarray | None]] | None = None
         self._op_name: str = "leaf"
@@ -104,6 +144,11 @@ class Tensor:
         out.grad = None
         track = is_grad_enabled() and any(p.requires_grad for p in parents)
         out.requires_grad = track
+        # The run axis survives any op whose output still leads with it.
+        runs = next((p.runs for p in parents if p.runs is not None), None)
+        if runs is not None and (data.ndim < 1 or data.shape[0] != runs):
+            runs = None
+        out.runs = runs
         out._parents = parents if track else ()
         out._grad_fn = grad_fn if track else None
         out._op_name = op_name
@@ -141,7 +186,7 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """A view sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype)
+        return Tensor(self.data, requires_grad=False, dtype=self.data.dtype, runs=self.runs)
 
     def zero_grad(self) -> None:
         """Clear the accumulated gradient."""
@@ -155,13 +200,16 @@ class Tensor:
     def backward(self, grad=None) -> None:
         """Accumulate gradients of this tensor w.r.t. graph leaves.
 
-        ``grad`` defaults to 1 for scalar tensors; non-scalar roots require
-        an explicit output gradient (PyTorch semantics).
+        ``grad`` defaults to 1 for scalar tensors — including run-batched
+        ``(R,)`` tensors holding one scalar per lockstep run, which seed a
+        unit gradient per run; other non-scalar roots require an explicit
+        output gradient (PyTorch semantics).
         """
         if not self.requires_grad:
             raise AutogradError("backward() on a tensor that does not require grad")
         if grad is None:
-            if self.data.size != 1:
+            per_run_scalar = self.runs is not None and self.data.shape == (self.runs,)
+            if self.data.size != 1 and not per_run_scalar:
                 raise AutogradError("grad must be given for non-scalar backward()")
             grad = np.ones_like(self.data)
         grad = np.asarray(grad, dtype=self.data.dtype)
@@ -292,34 +340,61 @@ class Tensor:
                 return (g @ b.T, np.outer(a, g))
             if a.ndim == 2 and b.ndim == 1:
                 return (np.outer(g, b), a.T @ g)
+            if a.ndim >= 2 and b.ndim >= 2:
+                # Stacked (run-batched) operands: the 2-D rules applied per
+                # leading slice, with each grad unbroadcast back to its
+                # operand (a shared 2-D operand gets its run-axis grads
+                # summed in run order).
+                return (
+                    _unbroadcast(np.matmul(g, np.swapaxes(b, -1, -2)), a.shape),
+                    _unbroadcast(np.matmul(np.swapaxes(a, -1, -2), g), b.shape),
+                )
             raise AutogradError(f"matmul backward unsupported for {a.shape} @ {b.shape}")
 
         return Tensor._from_op(data, (self, o), grad_fn, "matmul")
 
     # ----------------------------------------------------------- reductions
+    def _reduce_axes(self, dim: int | tuple[int, ...] | None) -> tuple[int, ...]:
+        """Data axes a reduction over ``dim`` touches.
+
+        ``dim`` addresses the logical shape; on run-batched tensors the run
+        axis is implicit — ``dim=None`` reduces every logical axis (one
+        scalar per run) and explicit dims shift past the run axis.
+        """
+        lead = 1 if self.runs is not None else 0
+        if dim is None:
+            return tuple(range(lead, self.ndim))
+        logical_ndim = self.ndim - lead
+        if logical_ndim == 0:
+            raise ShapeError(
+                "cannot reduce over an explicit dim on a per-run scalar "
+                "tensor (the run axis is not addressable)"
+            )
+        axes = (dim,) if isinstance(dim, int) else tuple(dim)
+        for a in axes:
+            if not -logical_ndim <= a < logical_ndim:
+                raise ShapeError(
+                    f"dim {a} out of range for logical shape {self.shape[lead:]}"
+                )
+        return tuple(sorted(a % logical_ndim + lead for a in axes))
+
     def sum(self, dim: int | tuple[int, ...] | None = None, keepdim: bool = False) -> "Tensor":
-        """Sum over ``dim`` (all axes when None)."""
-        data = self.data.sum(axis=dim, keepdims=keepdim)
+        """Sum over ``dim`` (all *logical* axes when None)."""
+        axes = self._reduce_axes(dim)
+        data = self.data.sum(axis=axes, keepdims=keepdim)
 
         def grad_fn(g: np.ndarray):
-            if dim is None:
-                return (np.broadcast_to(g, self.shape).astype(self.data.dtype),)
             gg = g
             if not keepdim:
-                axes = (dim,) if isinstance(dim, int) else tuple(dim)
-                for ax in sorted(a % self.ndim for a in axes):
+                for ax in axes:
                     gg = np.expand_dims(gg, ax)
             return (np.broadcast_to(gg, self.shape).astype(self.data.dtype),)
 
         return Tensor._from_op(np.asarray(data), (self,), grad_fn, "sum")
 
     def mean(self, dim: int | tuple[int, ...] | None = None, keepdim: bool = False) -> "Tensor":
-        """Arithmetic mean over ``dim``."""
-        if dim is None:
-            count = self.data.size
-        else:
-            axes = (dim,) if isinstance(dim, int) else tuple(dim)
-            count = int(np.prod([self.shape[a % self.ndim] for a in axes]))
+        """Arithmetic mean over ``dim`` (logical axes; run axis carried)."""
+        count = int(np.prod([self.shape[a] for a in self._reduce_axes(dim)]))
         return self.sum(dim=dim, keepdim=keepdim) * (1.0 / count)
 
     # -------------------------------------------------------------- shaping
@@ -334,7 +409,19 @@ class Tensor:
         )
 
     def transpose(self) -> "Tensor":
-        """2-D transpose."""
+        """2-D transpose (per-run on run-batched tensors)."""
+        if self.runs is not None:
+            if self.ndim != 3:
+                raise ShapeError(
+                    "transpose() on run-batched tensors needs a 2-D logical "
+                    f"shape, got {self.shape} with runs={self.runs}"
+                )
+            return Tensor._from_op(
+                self.data.swapaxes(-1, -2),
+                (self,),
+                lambda g: (np.swapaxes(g, -1, -2),),
+                "transpose",
+            )
         if self.ndim != 2:
             raise ShapeError(f"transpose() supports 2-D tensors, got {self.shape}")
         return Tensor._from_op(self.data.T, (self,), lambda g: (g.T,), "transpose")
@@ -374,7 +461,9 @@ class Tensor:
         return Tensor._from_op(data, (self,), lambda g: (g * data * (1 - data),), "sigmoid")
 
     def log_softmax(self, dim: int = -1) -> "Tensor":
-        """Numerically stable log-softmax along ``dim``."""
+        """Numerically stable log-softmax along logical ``dim``."""
+        if self.runs is not None and dim >= 0:
+            dim += 1  # logical dims skip the run axis
         x = self.data
         m = x.max(axis=dim, keepdims=True)
         z = x - m
@@ -389,20 +478,43 @@ class Tensor:
 
     # -------------------------------------------------------------- indexing
     def gather_rows(self, index) -> "Tensor":
-        """Row gather (``index_select`` dim 0).
+        """Row gather (``index_select`` dim 0, logical rows).
 
         **The backward pass is** :func:`repro.ops.index_add` — the paper's
         canonical non-deterministic kernel — so differentiating through a
         gather injects run-to-run variability unless deterministic
-        algorithms are enabled.
+        algorithms are enabled.  On a run-batched tensor the gather reads
+        each run's own rows and the backward scatter-add folds each run
+        with its own scheduler stream (captured from the active
+        :class:`~repro.tensor.runbatch.RunBatch` at forward time); the
+        scalar backward consumes the pinned kernel stream when one is
+        installed (the one-stream-per-run contract).
         """
         idx = np.asarray(index)
+        if self.runs is not None:
+            _validate_gather_index(idx, self.data.shape[1])
+            data = self.data[:, idx]
+            n_rows = self.data.shape[1]
+            batch = active_run_batch()
+            n_runs = self.runs
+
+            def grad_fn(g: np.ndarray):
+                zeros = np.zeros(self.data.shape[1:], dtype=self.data.dtype)
+                plan = batch.plan_for(idx, n_rows) if batch is not None else None
+                rngs = batch.rngs if batch is not None else None
+                return (
+                    _ops.index_add_batch(
+                        zeros, 0, idx, g, n_runs=n_runs, plan=plan, rngs=rngs
+                    ),
+                )
+
+            return Tensor._from_op(data, (self,), grad_fn, "gather_rows")
+
         data = _ops.gather_rows(self.data, idx)
-        n_rows = self.shape[0]
 
         def grad_fn(g: np.ndarray):
             zeros = np.zeros_like(self.data)
-            return (_ops.index_add(zeros, 0, idx, g),)
+            return (_ops.index_add(zeros, 0, idx, g, rng=current_kernel_stream()),)
 
         return Tensor._from_op(data, (self,), grad_fn, "gather_rows")
 
@@ -410,16 +522,79 @@ class Tensor:
         """Differentiable :func:`repro.ops.index_add` (dim 0).
 
         Forward non-determinism follows the global switch; the backward
-        w.r.t. ``source`` is a deterministic gather.
+        w.r.t. ``source`` is a deterministic gather.  Inside an active
+        :class:`~repro.tensor.runbatch.RunBatch` (or when ``source`` is
+        run-batched) the update runs in lockstep: one fold per run, each
+        drawing from its own scheduler stream, bit-identical per run to the
+        scalar kernel.  The run-batched input (``self``) must be the shared
+        un-batched base (zeros in the aggregation idiom).
         """
         src = source if isinstance(source, Tensor) else Tensor(source)
         idx = np.asarray(index)
-        data = _ops.index_add(self.data, 0, idx, src.data)
+        batch = active_run_batch()
+        n_runs = src.runs if src.runs is not None else (
+            batch.n_runs if batch is not None else None
+        )
+        if n_runs is not None:
+            if self.runs is not None:
+                raise ConfigurationError(
+                    "run-batched index_add needs a shared (un-batched) input; "
+                    "got a run-batched input tensor"
+                )
+            plan = (
+                batch.plan_for(idx, self.data.shape[0]) if batch is not None else None
+            )
+            rngs = batch.rngs if batch is not None else None
+            data = _ops.index_add_batch(
+                self.data, 0, idx, src.data,
+                n_runs=n_runs, plan=plan, rngs=rngs,
+            )
+            src_batched = src.runs is not None
+
+            def grad_fn(g: np.ndarray):
+                g_src = g[:, idx] if src_batched else None
+                if not src_batched and src.requires_grad:
+                    raise AutogradError(
+                        "gradient of a shared source w.r.t. a run-batched "
+                        "index_add is undefined; batch the source first"
+                    )
+                if self.requires_grad:
+                    raise AutogradError(
+                        "gradient of a shared input w.r.t. a run-batched "
+                        "index_add is undefined; batch the input first"
+                    )
+                return (None, g_src)
+
+            out = Tensor._from_op(data, (self, src), grad_fn, "index_add")
+            # A shared-source lockstep update batches the output even when
+            # no parent carried the run axis (the first ND kernel of a run
+            # batch, where all runs still share their inputs).
+            out.runs = n_runs
+            return out
+
+        data = _ops.index_add(
+            self.data, 0, idx, src.data, rng=current_kernel_stream()
+        )
 
         def grad_fn(g: np.ndarray):
             return (g, _ops.gather_rows(g, idx))
 
         return Tensor._from_op(data, (self, src), grad_fn, "index_add")
+
+    def contiguous(self) -> "Tensor":
+        """C-contiguous copy (autograd identity).
+
+        Normalises the memory layout — mixed basic/advanced indexing can
+        return copies with transposed strides, and NumPy's pairwise
+        reductions block differently over strided rows, which would break
+        the run-batched paths' bit-equivalence with their contiguous
+        scalar twins.
+        """
+        if self.data.flags["C_CONTIGUOUS"]:
+            return self
+        return Tensor._from_op(
+            np.ascontiguousarray(self.data), (self,), lambda g: (g,), "contiguous"
+        )
 
     def __getitem__(self, key) -> "Tensor":
         data = self.data[key]

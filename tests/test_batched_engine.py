@@ -721,3 +721,394 @@ class TestSweepVariability:
             s = scatter_reduce_variability(c.n, c.ratio, c.reduce, 8, cb)
             assert p == s, c
         assert pooled[0].vc_mean == 0.0 and pooled[3].vc_mean == 0.0
+
+
+class TestCopyOpRuns:
+    """Batched last-writer-wins races vs scalar loops (table5 engine)."""
+
+    def _workload(self, dtype, n=300, t=90, payload=(6,)):
+        rng = np.random.default_rng(11)
+        idx = rng.integers(0, t, size=n)
+        src = rng.standard_normal((n,) + payload).astype(dtype)
+        inp = rng.standard_normal((t,) + payload).astype(dtype)
+        return idx, src, inp
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_index_copy_runs(self, dtype):
+        from repro.ops import index_copy, index_copy_runs
+
+        idx, src, inp = self._workload(dtype)
+        ca, cb = RunContext(21), RunContext(21)
+        batched = index_copy_runs(inp, 0, idx, src, 9, ctx=ca)
+        scalar = [
+            index_copy(inp, 0, idx, src, ctx=cb, deterministic=False)
+            for _ in range(9)
+        ]
+        for b, s in zip(batched, scalar):
+            np.testing.assert_array_equal(b, s)
+
+    @pytest.mark.parametrize("dtype", DTYPES)
+    def test_scatter_runs(self, dtype):
+        from repro.ops import scatter, scatter_runs
+
+        idx, src, inp = self._workload(dtype)
+        ca, cb = RunContext(22), RunContext(22)
+        batched = scatter_runs(inp, 0, idx, src, 9, ctx=ca, stacked=True)
+        for r in range(9):
+            s = scatter(inp, 0, idx, src, ctx=cb, deterministic=False)
+            np.testing.assert_array_equal(batched[r], s)
+
+    def test_index_put_runs_both_modes(self):
+        from repro.ops import index_put, index_put_runs
+
+        idx, src, inp = self._workload(np.float32)
+        for accumulate in (False, True):
+            ca, cb = RunContext(23), RunContext(23)
+            batched = index_put_runs(inp, idx, src, 6, accumulate=accumulate, ctx=ca)
+            scalar = [
+                index_put(inp, idx, src, accumulate=accumulate, ctx=cb,
+                          deterministic=False)
+                for _ in range(6)
+            ]
+            for b, s in zip(batched, scalar):
+                np.testing.assert_array_equal(b, s)
+
+    def test_unique_indices_are_canonical(self):
+        # No duplicate writers -> no races -> every run equals the
+        # deterministic output and consumes only its own (unused) stream.
+        from repro.ops import index_copy, index_copy_runs
+
+        idx = np.arange(40)
+        rng = np.random.default_rng(3)
+        src = rng.standard_normal((40, 2)).astype(np.float32)
+        inp = rng.standard_normal((40, 2)).astype(np.float32)
+        det = index_copy(inp, 0, idx, src, deterministic=True)
+        outs = index_copy_runs(inp, 0, idx, src, 4, ctx=RunContext(0))
+        for o in outs:
+            np.testing.assert_array_equal(o, det)
+
+    def test_outputs_independent(self):
+        from repro.ops import index_copy_runs
+
+        idx, src, inp = self._workload(np.float32)
+        outs = index_copy_runs(inp, 0, idx, src, 5, ctx=RunContext(2))
+        outs[0][:] = np.nan
+        assert np.isfinite(outs[1]).all()
+
+
+class TestRunBatchedTensor:
+    """Run-axis Tensor ops: per-run bits equal the scalar twins'."""
+
+    def test_matmul_forward_backward_bitwise(self):
+        from repro.tensor import Tensor
+
+        rng = np.random.default_rng(5)
+        R, n, i, o = 4, 23, 11, 6
+        xs = rng.standard_normal((R, n, i)).astype(np.float32)
+        ws = rng.standard_normal((R, o, i)).astype(np.float32)
+        g = rng.standard_normal((R, n, o)).astype(np.float32)
+
+        xb = Tensor(xs, requires_grad=True, runs=R)
+        wb = Tensor(ws, requires_grad=True, runs=R)
+        out = xb @ wb.T
+        assert out.runs == R
+        out.backward(g)
+
+        for r in range(R):
+            x1 = Tensor(xs[r], requires_grad=True)
+            w1 = Tensor(ws[r], requires_grad=True)
+            o1 = x1 @ w1.T
+            o1.backward(g[r])
+            np.testing.assert_array_equal(out.data[r], o1.data)
+            np.testing.assert_array_equal(xb.grad[r], x1.grad)
+            np.testing.assert_array_equal(wb.grad[r], w1.grad)
+
+    def test_shared_operand_matmul_grad_folds_runs(self):
+        from repro.tensor import Tensor
+
+        rng = np.random.default_rng(6)
+        R, n, i, o = 3, 9, 5, 4
+        x = rng.standard_normal((n, i)).astype(np.float32)
+        ws = rng.standard_normal((R, i, o)).astype(np.float32)
+        xt = Tensor(x, requires_grad=True)
+        wt = Tensor(ws, requires_grad=True, runs=R)
+        out = xt @ wt
+        assert out.runs == R and out.shape == (R, n, o)
+        out.backward(np.ones((R, n, o), dtype=np.float32))
+        assert xt.grad.shape == (n, i) and wt.grad.shape == (R, i, o)
+
+    def test_reductions_and_losses_bitwise(self):
+        from repro.nn import functional as F
+        from repro.tensor import Tensor
+
+        rng = np.random.default_rng(7)
+        R, n, c = 5, 17, 4
+        xs = rng.standard_normal((R, n, c)).astype(np.float32)
+        t = rng.integers(0, c, size=n)
+        xb = Tensor(xs, requires_grad=True, runs=R)
+        loss = F.nll_loss(xb.log_softmax(dim=-1), t)
+        assert loss.runs == R and loss.shape == (R,)
+        loss.backward()
+        for r in range(R):
+            x1 = Tensor(xs[r], requires_grad=True)
+            l1 = F.nll_loss(x1.log_softmax(dim=-1), t)
+            l1.backward()
+            assert float(loss.data[r]) == l1.item()
+            np.testing.assert_array_equal(xb.grad[r], x1.grad)
+
+    def test_sum_mean_logical_axes(self):
+        from repro.tensor import Tensor
+
+        rng = np.random.default_rng(8)
+        xs = rng.standard_normal((3, 6, 5)).astype(np.float32)
+        xb = Tensor(xs, runs=3)
+        np.testing.assert_array_equal(
+            xb.sum().data, np.stack([np.float32(xs[r].sum()) for r in range(3)])
+        )
+        np.testing.assert_array_equal(
+            xb.sum(dim=0).data, xs.sum(axis=1)
+        )
+        scalar_means = [Tensor(xs[r]).mean(dim=-1).data for r in range(3)]
+        np.testing.assert_array_equal(xb.mean(dim=-1).data, np.stack(scalar_means))
+
+    def test_run_axis_propagation_and_backward_seed(self):
+        from repro.tensor import Tensor
+
+        x = Tensor(np.ones((4, 3), dtype=np.float32), requires_grad=True, runs=4)
+        s = (x * 2.0).sum()
+        assert s.runs == 4 and s.shape == (4,)
+        s.backward()  # per-run unit seeds
+        np.testing.assert_array_equal(x.grad, np.full((4, 3), 2.0, dtype=np.float32))
+
+    def test_gather_index_add_lockstep_vs_scalar(self):
+        from repro.ops import gather_rows as np_gather
+        from repro.tensor import RunBatch, Tensor, run_batch, use_kernel_stream
+
+        rng = np.random.default_rng(9)
+        R, n_rows, n_src, f = 4, 30, 120, 3
+        xs = rng.standard_normal((R, n_rows, f)).astype(np.float32)
+        idx = rng.integers(0, n_rows, size=n_src)
+        g = rng.standard_normal((R, n_src, f)).astype(np.float32)
+
+        ca = RunContext(31)
+        xb = Tensor(xs, requires_grad=True, runs=R)
+        with run_batch(RunBatch(R, ctx=ca)):
+            out = xb.gather_rows(idx)
+            assert out.runs == R
+            out.backward(g)
+
+        cb = RunContext(31)
+        for r in range(R):
+            x1 = Tensor(xs[r], requires_grad=True)
+            with use_kernel_stream(cb.scheduler()):
+                o1 = x1.gather_rows(idx)
+                o1.backward(g[r])
+            np.testing.assert_array_equal(out.data[r], np_gather(xs[r], idx))
+            np.testing.assert_array_equal(xb.grad[r], x1.grad)
+
+
+class TestGnnLockstep:
+    """train_graphsage_runs / run_inference_runs vs their scalar loops."""
+
+    @pytest.fixture(scope="class")
+    def ds(self):
+        from repro.graph.datasets import cora_like
+
+        return cora_like(num_nodes=60, num_edges=140, num_features=10,
+                         num_classes=3, ctx=RunContext(0))
+
+    @pytest.mark.parametrize("n_runs", (1, 2, 5))
+    def test_train_matches_scalar_loop(self, ds, n_runs):
+        from repro.experiments._gnn import train_graphsage, train_graphsage_runs
+
+        kw = dict(hidden=4, epochs=3, lr=0.01, deterministic=False)
+        runs = train_graphsage_runs(ds, ctx=RunContext(40), n_runs=n_runs, **kw)
+        ctx = RunContext(40)
+        for r in range(n_runs):
+            s = train_graphsage(ds, ctx=ctx, **kw)
+            np.testing.assert_array_equal(runs.weights[r], s.weights)
+            for ep in range(3):
+                np.testing.assert_array_equal(
+                    runs.epoch_weights[ep][r], s.epoch_weights[ep]
+                )
+                assert runs.losses[ep][r] == s.losses[ep]
+
+    def test_deterministic_runs_collapse(self, ds):
+        from repro.experiments._gnn import train_graphsage, train_graphsage_runs
+
+        kw = dict(hidden=4, epochs=2, lr=0.01)
+        runs = train_graphsage_runs(
+            ds, ctx=RunContext(41), n_runs=3, deterministic=True, **kw
+        )
+        s = train_graphsage(ds, ctx=RunContext(41), deterministic=True, **kw)
+        assert runs.weights.shape == (3,) + s.weights.shape
+        for r in range(3):
+            np.testing.assert_array_equal(runs.weights[r], s.weights)
+        # Collapsed runs draw nothing from the scheduler.
+        assert RunContext(41).peek_run_counter() == 0
+
+    def test_nd_inference_matches_scalar_loop(self, ds):
+        from repro.experiments._gnn import (
+            run_inference,
+            run_inference_runs,
+            train_graphsage,
+            train_graphsage_runs,
+        )
+
+        kw = dict(hidden=4, epochs=2, lr=0.01, deterministic=False)
+        # Batched model -> batched ND inference.
+        runs = train_graphsage_runs(ds, ctx=RunContext(42), n_runs=3, **kw)
+        logits = run_inference_runs(
+            runs.model, ds, deterministic=False, ctx=RunContext(7), n_runs=3
+        )
+        ctx = RunContext(42)
+        cb = RunContext(7)
+        for r in range(3):
+            s = train_graphsage(ds, ctx=ctx, **kw)
+            ref = run_inference(s.model, ds, deterministic=False, ctx=cb)
+            np.testing.assert_array_equal(logits[r], ref)
+
+    def test_shared_model_nd_inference_matches_scalar_loop(self, ds):
+        from repro.experiments._gnn import (
+            run_inference,
+            run_inference_runs,
+            train_graphsage,
+        )
+
+        s = train_graphsage(
+            ds, hidden=4, epochs=1, lr=0.01, deterministic=True, ctx=RunContext(43)
+        )
+        logits = run_inference_runs(
+            s.model, ds, deterministic=False, ctx=RunContext(8), n_runs=4
+        )
+        cb = RunContext(8)
+        for r in range(4):
+            ref = run_inference(s.model, ds, deterministic=False, ctx=cb)
+            np.testing.assert_array_equal(logits[r], ref)
+
+    def test_deterministic_inference_of_batched_model(self, ds):
+        from repro.experiments._gnn import (
+            run_inference,
+            run_inference_runs,
+            train_graphsage,
+            train_graphsage_runs,
+        )
+
+        kw = dict(hidden=4, epochs=2, lr=0.01, deterministic=False)
+        runs = train_graphsage_runs(ds, ctx=RunContext(44), n_runs=3, **kw)
+        logits = run_inference_runs(
+            runs.model, ds, deterministic=True, ctx=RunContext(9), n_runs=3
+        )
+        ctx = RunContext(44)
+        for r in range(3):
+            s = train_graphsage(ds, ctx=ctx, **kw)
+            ref = run_inference(s.model, ds, deterministic=True)
+            np.testing.assert_array_equal(logits[r], ref)
+
+    def test_adam_lockstep_step_bitwise(self):
+        from repro.nn import Adam, Linear
+
+        rng = np.random.default_rng(12)
+        R = 3
+        grads_w = rng.standard_normal((R, 4, 6)).astype(np.float32)
+        grads_b = rng.standard_normal((R, 4)).astype(np.float32)
+
+        batched = Linear(6, 4, rng=np.random.default_rng(1))
+        batched.expand_runs(R)
+        opt_b = Adam(batched.parameters(), lr=0.01)
+        scalars = [Linear(6, 4, rng=np.random.default_rng(1)) for _ in range(R)]
+        opts = [Adam(s.parameters(), lr=0.01) for s in scalars]
+        for _ in range(3):
+            batched.weight.grad = grads_w.copy()
+            batched.bias.grad = grads_b.copy()
+            opt_b.step()
+            for r, (s, o) in enumerate(zip(scalars, opts)):
+                s.weight.grad = grads_w[r].copy()
+                s.bias.grad = grads_b[r].copy()
+                o.step()
+        for r, s in enumerate(scalars):
+            np.testing.assert_array_equal(batched.weight.data[r], s.weight.data)
+            np.testing.assert_array_equal(batched.bias.data[r], s.bias.data)
+
+    def test_expand_runs_guards(self):
+        from repro.errors import ConfigurationError
+        from repro.nn import Adam, Linear
+
+        lin = Linear(3, 2, rng=np.random.default_rng(0))
+        opt = Adam(lin.parameters(), lr=0.01)
+        lin.expand_runs(2)
+        with pytest.raises(ConfigurationError):
+            lin.expand_runs(2)
+        lin.weight.grad = np.zeros_like(lin.weight.data)
+        with pytest.raises(ConfigurationError):
+            opt.step()  # state captured before the run axis appeared
+
+
+class TestSumdistArrayBatch:
+    """(arrays, runs, n) passes vs the per-array loops they replace."""
+
+    def test_spa_arrays_matches_per_array(self):
+        from repro.experiments._sumdist import spa_vs_samples, spa_vs_samples_arrays
+
+        rng = np.random.default_rng(3)
+        xs = rng.uniform(0.0, 10.0, (3, 4096))
+        mat = spa_vs_samples_arrays(xs, 20, RunContext(50))
+        ctx = RunContext(50)
+        for a in range(3):
+            np.testing.assert_array_equal(
+                mat[a], spa_vs_samples(xs[a], 20, ctx)
+            )
+
+    @pytest.mark.parametrize("n", (2048, 2000))  # warp-aligned and not
+    def test_ao_arrays_matches_per_array(self, n):
+        from repro.experiments._sumdist import ao_vs_samples, ao_vs_samples_arrays
+
+        rng = np.random.default_rng(4)
+        xs = rng.uniform(0.0, 10.0, (2, n))
+        mat = ao_vs_samples_arrays(xs, 15, RunContext(51))
+        ctx = RunContext(51)
+        for a in range(2):
+            np.testing.assert_array_equal(mat[a], ao_vs_samples(xs[a], 15, ctx))
+
+    def test_explicit_rngs_reproduce_interleaved_draws(self):
+        # The fig2 layout: AO and SPA streams interleave per array; explicit
+        # per-run rngs let the batched passes reproduce that order exactly.
+        from repro.experiments._sumdist import (
+            ao_vs_samples,
+            ao_vs_samples_arrays,
+            spa_vs_samples,
+            spa_vs_samples_arrays,
+        )
+
+        rng = np.random.default_rng(5)
+        xs_ao = rng.uniform(0.0, 10.0, (2, 2048))
+        xs_spa = rng.uniform(0.0, 10.0, (2, 4096))
+        R = 10
+        ca = RunContext(52)
+        ao_rngs, spa_rngs = [], []
+        for _ in range(2):
+            ao_rngs.extend(ca.scheduler() for _ in range(R))
+            spa_rngs.extend(ca.scheduler() for _ in range(R))
+        ao_mat = ao_vs_samples_arrays(xs_ao, R, ca, rngs=ao_rngs)
+        spa_mat = spa_vs_samples_arrays(xs_spa, R, ca, rngs=spa_rngs)
+
+        cb = RunContext(52)
+        for a in range(2):
+            np.testing.assert_array_equal(ao_mat[a], ao_vs_samples(xs_ao[a], R, cb))
+            np.testing.assert_array_equal(spa_mat[a], spa_vs_samples(xs_spa[a], R, cb))
+
+    def test_run_axis_guards(self):
+        from repro.errors import ConfigurationError as CE, ShapeError as SE
+        from repro.tensor import Tensor
+
+        t = Tensor(np.ones((3, 4, 2), dtype=np.float32), runs=3)
+        with pytest.raises(CE):
+            t.gather_rows(np.array([-1]))  # scalar twin's bounds check
+        with pytest.raises(CE):
+            t.gather_rows(np.array([4]))
+        with pytest.raises(SE):
+            Tensor(np.ones((3, 2), dtype=np.float32), runs=3).transpose()
+        with pytest.raises(SE):
+            Tensor(np.ones(3, dtype=np.float32), runs=3).sum(dim=0)
+        with pytest.raises(SE):
+            Tensor(np.ones((4, 2), dtype=np.float32), runs=3)
