@@ -32,11 +32,14 @@ from ..ops.nondet import OP_CONTENTION
 from ..ops.scatter import _finalize_scatter_reduce
 from ..ops.segmented import _IDENTITY, _UFUNC, SegmentPlan, _stratified_refold
 from ..runtime import RunContext
+from .sharding import RunConcat, RunList, run_digest
 
 __all__ = [
     "OpVariability",
     "SweepCell",
     "sweep_variability",
+    "sweep_run_payloads",
+    "variability_from_payload",
     "scatter_reduce_variability",
     "index_add_variability",
 ]
@@ -135,21 +138,23 @@ _WORKLOAD_CACHE: dict = {}
 _WORKLOAD_CACHE_MAX = 96
 
 
-def _summarise_batch_sparse(
+def _per_run_stats_sparse(
     reference: np.ndarray,
     batch: np.ndarray,
     run_ids: np.ndarray,
     row_ids: np.ndarray,
-) -> OpVariability:
-    """:func:`_summarise_batch` given the superset of differing rows.
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-run ``(vcs, ermvs)`` given the superset of differing rows.
 
     ``(run_ids, row_ids)`` must cover every leading-axis row of ``batch``
     that is not bit-identical to the reference row (duplicates and
     equal-bits rows are fine).  The ``rel``/``neq`` arrays are then filled
     sparsely; because every untouched element is exactly the ``+0.0`` /
     ``False`` the dense transform produces for bit-equal rows (finite
-    data), the materialised arrays — and therefore every statistic's bits
-    — are identical to :func:`_summarise_batch`'s.
+    data), the materialised arrays — and therefore every per-run value's
+    bits — are identical to :func:`_summarise_batch`'s.  Each row's value
+    depends only on that row, so the vectors slice cleanly along any run
+    window — the property the sharded sweep payloads rely on.
     """
     n_runs = batch.shape[0]
     ref_rows = np.asarray(reference)[row_ids]
@@ -171,16 +176,28 @@ def _summarise_batch_sparse(
     rel = np.zeros(batch.shape, dtype=np.float64)
     rel[run_ids, row_ids] = rr
     ermvs = rel.reshape(n_runs, -1).mean(axis=1)
+    return vcs, ermvs
+
+
+def variability_from_payload(payload: dict) -> OpVariability:
+    """:class:`OpVariability` from one cell's merged shard payload.
+
+    The payload carries per-run vectors (``vcs``/``ermvs``) and per-run
+    output digests; the summary statistics reduce them exactly like
+    :func:`_summarise_batch` reduces its per-run columns, so serial and
+    merged-shard payloads yield bit-identical statistics.
+    """
+    vcs = np.asarray(payload["vcs"])
+    ermvs = np.asarray(payload["ermvs"])
     finite = ermvs[np.isfinite(ermvs)]
-    uniq = len({batch[r].tobytes() for r in range(n_runs)})
     return OpVariability(
-        n_runs=n_runs,
+        n_runs=int(vcs.size),
         vc_mean=float(vcs.mean()),
         vc_std=float(vcs.std()),
         ermv_mean=float(finite.mean()) if finite.size else float("inf"),
         ermv_std=float(finite.std()) if finite.size else float("nan"),
         ermv_max=float(finite.max()) if finite.size else float("inf"),
-        n_unique=uniq,
+        n_unique=len(set(payload["digests"])),
     )
 
 
@@ -313,32 +330,60 @@ def _pooled_refold(group: list[dict]) -> None:
         lo += size
 
 
-def sweep_variability(
+def sweep_run_payloads(
     cells: list[SweepCell],
     n_runs: int,
     ctx: RunContext,
     *,
+    lo: int = 0,
+    hi: int | None = None,
     dtype=np.float32,
-) -> list[OpVariability]:
-    """Evaluate a whole sweep grid through the batched engine.
+) -> list[dict]:
+    """Evaluate runs ``[lo, hi)`` of a sweep grid; return per-cell payloads.
 
-    Workloads and :class:`SegmentPlan`s for every cell are built first
-    (run-counter-independent data streams), all cells' per-run draws are
-    sampled in cell order (the scheduler-stream order of a scalar
-    cell-by-cell sweep), and the raced re-folds are then pooled across
-    same-payload cells (:func:`_pooled_refold`) — whole sweep columns fold
-    as one batch.  Results are bit-identical to calling
-    :func:`scatter_reduce_variability` / :func:`index_add_variability`
-    per cell.
+    The shard kernel of the Figs 3–5 / Table 5 sweeps.  The serial stream
+    layout assigns each cell a contiguous block of scheduler streams
+    starting at the context's current ladder position (``runs_eff`` per
+    cell: ``n_runs`` for ``index_add``, ``n_runs + 1`` for
+    ``scatter_reduce``, whose global run 0 is the reference).  A shard
+    draws, per cell, exactly the window's streams — the reference stream
+    plus ``[lo, hi)`` of the comparison runs — by seeking the ladder to
+    each block's absolute position, so per-run outputs are bit-identical
+    to rows ``[lo, hi)`` of the full sweep.  The ladder is left at the end
+    of the last cell's *full* block, exactly where a serial sweep leaves
+    it.
+
+    Each payload carries the window's per-run ``vcs``/``ermvs`` vectors
+    (:class:`~repro.experiments.sharding.RunConcat`) and per-run output
+    digests (:class:`~repro.experiments.sharding.RunList`); merged
+    payloads feed :func:`variability_from_payload`.
     """
+    hi = n_runs if hi is None else hi
+    if not 0 <= lo <= hi <= n_runs:
+        raise ValueError(f"bad run window [{lo}, {hi}) for n_runs={n_runs}")
+    r = hi - lo
+    base = ctx.peek_run_counter()
     entries = []
     for cell in cells:
         plan, inp, idx, src = _build_workload(cell, ctx, dtype)
-        runs_eff = n_runs + 1 if cell.op == "scatter_reduce" else n_runs
-        draws = plan.sample_run_draws(runs_eff, OP_CONTENTION[cell.op], ctx)
+        model = OP_CONTENTION[cell.op]
+        if cell.op == "scatter_reduce":
+            # Global run 0 is the reference (§IV: no deterministic kernel);
+            # every shard reproduces it from stream ``base`` before drawing
+            # its own comparison window.
+            ctx.seek_runs(base)
+            draws = plan.sample_run_draws(1, model, ctx)
+            ctx.seek_runs(base + 1 + lo)
+            draws += plan.sample_run_draws(r, model, ctx)
+            runs_eff_full = n_runs + 1
+        else:
+            ctx.seek_runs(base + lo)
+            draws = plan.sample_run_draws(r, model, ctx)
+            runs_eff_full = n_runs
+        base += runs_eff_full
         vals = src.astype(dtype, copy=False)
         canonical = plan.fold(vals, reduce=cell.reduce, init=inp)
-        out = np.empty((runs_eff,) + canonical.shape, dtype=canonical.dtype)
+        out = np.empty((len(draws),) + canonical.shape, dtype=canonical.dtype)
         out[:] = canonical
         entries.append(
             {
@@ -347,6 +392,7 @@ def sweep_variability(
                 "init": np.asarray(inp, dtype=vals.dtype),
             }
         )
+    ctx.seek_runs(base)
     groups: dict[tuple, list[dict]] = {}
     for e in entries:
         # Pool only cells that share both the payload shape and the fold
@@ -357,7 +403,7 @@ def sweep_variability(
     for group in groups.values():
         _pooled_refold(group)
     empty = np.empty(0, dtype=np.int64)
-    results = []
+    payloads = []
     for e in entries:
         cell, out, inp, plan = e["cell"], e["out"], e["inp"], e["plan"]
         runs, rows = e.get("raced_rows", (empty, empty))
@@ -374,16 +420,49 @@ def sweep_variability(
                 [runs[later] - 1, np.repeat(np.arange(n_cmp), ref_raced.size)]
             )
             row_ids = np.concatenate([rows[later], np.tile(ref_raced, n_cmp)])
-            results.append(
-                _summarise_batch_sparse(final[0], final[1:], run_ids, row_ids)
-            )
+            reference, cmp_rows = final[0], final[1:]
         else:
-            final = out.astype(inp.dtype, copy=False)
+            cmp_rows = out.astype(inp.dtype, copy=False)
             # The deterministic index_add reference is exactly the
             # canonical fold every un-raced row already equals.
             reference = e["canonical"].astype(inp.dtype, copy=False)
-            results.append(_summarise_batch_sparse(reference, final, runs, rows))
-    return results
+            run_ids, row_ids = runs, rows
+        vcs, ermvs = _per_run_stats_sparse(reference, cmp_rows, run_ids, row_ids)
+        payloads.append(
+            {
+                "vcs": RunConcat(vcs),
+                "ermvs": RunConcat(ermvs),
+                "digests": RunList([run_digest(row) for row in cmp_rows]),
+            }
+        )
+    return payloads
+
+
+def sweep_variability(
+    cells: list[SweepCell],
+    n_runs: int,
+    ctx: RunContext,
+    *,
+    dtype=np.float32,
+) -> list[OpVariability]:
+    """Evaluate a whole sweep grid through the batched engine.
+
+    Workloads and :class:`SegmentPlan`s for every cell are built first
+    (run-counter-independent data streams), all cells' per-run draws are
+    sampled in cell order (the scheduler-stream order of a scalar
+    cell-by-cell sweep), and the raced re-folds are then pooled across
+    same-payload cells (:func:`_pooled_refold`) — whole sweep columns fold
+    as one batch.  Results are bit-identical to calling
+    :func:`scatter_reduce_variability` / :func:`index_add_variability`
+    per cell.  Internally this is the full-window ``[0, n_runs)`` special
+    case of :func:`sweep_run_payloads` — the same kernel the sharded
+    executor partitions across processes.
+    """
+    payloads = sweep_run_payloads(cells, n_runs, ctx, lo=0, hi=n_runs, dtype=dtype)
+    return [
+        variability_from_payload({k: v.finish() for k, v in p.items()})
+        for p in payloads
+    ]
 
 
 def scatter_reduce_variability(

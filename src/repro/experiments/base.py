@@ -21,8 +21,17 @@ from dataclasses import dataclass, field
 
 from ..errors import ExperimentError
 from ..runtime import RunContext
+from .sharding import ShardAxis, merge_payloads
 
-__all__ = ["ExperimentResult", "Experiment", "register", "get_experiment", "list_experiments"]
+__all__ = [
+    "ExperimentResult",
+    "Experiment",
+    "ShardableExperiment",
+    "ShardAxis",
+    "register",
+    "get_experiment",
+    "list_experiments",
+]
 
 _SCALES = ("default", "paper")
 
@@ -47,6 +56,13 @@ class ExperimentResult:
         Free-form commentary (calibration provenance, paper-vs-measured).
     elapsed_s:
         Wall-clock the run took.
+    seed:
+        Master seed of the context the run used (``None`` for results
+        predating seed tracking).  Part of the archive filename and the
+        result-cache key.
+    meta:
+        Execution provenance (worker count, cache key, code fingerprint);
+        never part of the scientific payload (``rows``/``extra``).
     """
 
     experiment_id: str
@@ -57,6 +73,8 @@ class ExperimentResult:
     notes: str = ""
     elapsed_s: float = 0.0
     extra: dict = field(default_factory=dict)
+    seed: int | None = None
+    meta: dict = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         """JSON-serialisable representation."""
@@ -69,6 +87,8 @@ class ExperimentResult:
             "notes": self.notes,
             "elapsed_s": self.elapsed_s,
             "extra": self.extra,
+            "seed": self.seed,
+            "meta": self.meta,
         }
 
 
@@ -79,6 +99,12 @@ class Experiment(abc.ABC):
     experiment_id: str
     title: str
 
+    #: Shardable run axes (empty = serial-only).  Declaring an axis states
+    #: that :meth:`shard_run` over any partition of ``params[axis.param]``
+    #: merges (via the :mod:`~repro.experiments.sharding` protocol) into
+    #: the bit-exact serial payload.
+    shardable_axes: tuple[ShardAxis, ...] = ()
+
     @abc.abstractmethod
     def params_for(self, scale: str) -> dict:
         """Resolved parameter dict for a scale."""
@@ -86,6 +112,53 @@ class Experiment(abc.ABC):
     @abc.abstractmethod
     def _run(self, ctx: RunContext, params: dict) -> tuple[list[dict], str, dict]:
         """Execute; return (rows, notes, extra)."""
+
+    def resolve_params(self, scale: str, overrides: dict | None = None) -> dict:
+        """Scale resolution + override validation (shared with the
+        sharded executor, which needs the run count before dispatch)."""
+        if scale not in _SCALES:
+            raise ExperimentError(f"unknown scale {scale!r}; choose from {_SCALES}")
+        params = self.params_for(scale)
+        overrides = overrides or {}
+        unknown = set(overrides) - set(params)
+        if unknown:
+            raise ExperimentError(f"unknown parameter overrides: {sorted(unknown)}")
+        params.update(overrides)
+        return params
+
+    # ------------------------------------------------------------- sharding
+    def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
+        """Evaluate runs ``[lo, hi)`` of the shard axis; return a payload.
+
+        The shard positions the scheduler ladder itself via
+        :meth:`~repro.runtime.RunContext.seek_runs`, **relative to the
+        context's ladder position on entry**, so its draws land exactly
+        where the serial experiment's runs ``[lo, hi)`` land — and a
+        reused context keeps continuing its ladder across calls, exactly
+        like the pre-sharding experiments did.  Shards merged together
+        must share one anchor (the executor gives every shard a fresh
+        context of the same seed).  The returned payload's leaves are
+        tagged merge values (:mod:`repro.experiments.sharding`).
+        """
+        raise ExperimentError(
+            f"experiment {self.experiment_id!r} does not support sharded "
+            "execution (no shard_run implementation)"
+        )
+
+    def merge_shards(self, params: dict, parts: list[dict]) -> dict:
+        """Merge shard payloads (in run order) into the serial payload."""
+        return merge_payloads(parts)
+
+    def finalize(self, ctx: RunContext, params: dict, payload: dict) -> tuple[list[dict], str, dict]:
+        """Turn the merged payload into ``(rows, notes, extra)``.
+
+        Must not consume scheduler streams (it runs once, after the merge,
+        on whatever context the caller provides) — deterministic
+        recomputation from data/init streams is fine.
+        """
+        raise ExperimentError(
+            f"experiment {self.experiment_id!r} does not implement finalize"
+        )
 
     def run(self, *, scale: str = "default", ctx: RunContext | None = None, **overrides) -> ExperimentResult:
         """Run the experiment.
@@ -100,13 +173,7 @@ class Experiment(abc.ABC):
         overrides:
             Parameter overrides applied after scale resolution.
         """
-        if scale not in _SCALES:
-            raise ExperimentError(f"unknown scale {scale!r}; choose from {_SCALES}")
-        params = self.params_for(scale)
-        unknown = set(overrides) - set(params)
-        if unknown:
-            raise ExperimentError(f"unknown parameter overrides: {sorted(unknown)}")
-        params.update(overrides)
+        params = self.resolve_params(scale, overrides)
         ctx = ctx or RunContext(seed=0)
         start = time.perf_counter()
         rows, notes, extra = self._run(ctx, params)
@@ -120,7 +187,30 @@ class Experiment(abc.ABC):
             notes=notes,
             elapsed_s=elapsed,
             extra=extra,
+            seed=ctx.seed,
         )
+
+
+class ShardableExperiment(Experiment):
+    """Experiment whose serial path *is* the one-shard sharded path.
+
+    Subclasses implement :meth:`shard_run` and :meth:`finalize` (instead
+    of ``_run``) and declare one :class:`ShardAxis`.  ``_run`` evaluates
+    the full window ``[0, R)`` as a single shard and merges it through the
+    same protocol the parallel executor uses — so serial and sharded
+    execution are the same code on the same bits, and bit-exact shard
+    merging reduces to the run-offset stream contract
+    (:mod:`repro.gpusim.scheduler`).
+    """
+
+    def _run(self, ctx: RunContext, params: dict) -> tuple[list[dict], str, dict]:
+        if not self.shardable_axes:
+            raise ExperimentError(
+                f"{type(self).__name__} must declare shardable_axes"
+            )
+        total = int(params[self.shardable_axes[0].param])
+        payload = self.merge_shards(params, [self.shard_run(ctx, params, 0, total)])
+        return self.finalize(ctx, params, payload)
 
 
 _REGISTRY: dict[str, Experiment] = {}

@@ -14,17 +14,24 @@ import numpy as np
 
 from ..reductions import get_reduction
 from ..runtime import RunContext
-from ..solvers import conjugate_gradient_runs, iterate_divergence, spd_test_matrix
-from .base import Experiment, register
+from ..solvers import (
+    conjugate_gradient_runs,
+    divergence_from_trajectories,
+    iterate_divergence,
+    spd_test_matrix,
+)
+from .base import ShardAxis, ShardableExperiment, register
+from .sharding import RunList
 
 __all__ = ["CgDivergence"]
 
 
-class CgDivergence(Experiment):
+class CgDivergence(ShardableExperiment):
     """CG error-accumulation study (extension; paper SI narrative)."""
 
     experiment_id = "cgdiv"
     title = "Extension: conjugate-gradient iterate divergence under FPNA"
+    shardable_axes = (ShardAxis("n_runs"),)
 
     def params_for(self, scale: str) -> dict:
         # threads_per_block is small so even short vectors split into
@@ -36,16 +43,44 @@ class CgDivergence(Experiment):
         return {"n": 200, "cond": 1e4, "n_runs": 4, "n_iter": 30,
                 "tol": 1e-13, "threads_per_block": 4}
 
-    def _run(self, ctx: RunContext, params: dict):
+    def _system(self, ctx: RunContext, params: dict):
         A = spd_test_matrix(params["n"], cond=params["cond"], rng=ctx.data(1))
         b = ctx.data(2).standard_normal(params["n"])
+        return A, b
+
+    def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
+        A, b = self._system(ctx, params)
         spa = get_reduction("spa", threads_per_block=params["threads_per_block"])
+        n_runs = params["n_runs"]
+        # Batched run-axis engine: all solves advance in lockstep (one
+        # scheduler stream per run; converged runs freeze).  The serial
+        # stream ladder (relative to the context's position at entry) is:
+        # divergence solves on streams [0, n_runs), then the tolerance
+        # solves on [n_runs, 2*n_runs) — each shard seeks to its window of
+        # both blocks (the deterministic contrast solves draw nothing and
+        # move to finalize).
+        base = ctx.peek_run_counter()
+        ctx.seek_runs(base + lo)
+        div_runs = conjugate_gradient_runs(
+            A, b, hi - lo, reduction=spa, tol=0.0, max_iter=params["n_iter"],
+            track_iterates=True, ctx=ctx,
+        )
+        ctx.seek_runs(base + n_runs + lo)
+        tol_runs = conjugate_gradient_runs(
+            A, b, hi - lo, reduction=spa, tol=params["tol"], ctx=ctx
+        )
+        return {
+            "trajectories": RunList([res.iterates for res in div_runs]),
+            "iters": RunList([res.n_iter for res in tol_runs]),
+        }
+
+    def finalize(self, ctx: RunContext, params: dict, payload: dict):
+        A, b = self._system(ctx, params)
         sptr = get_reduction("sptr", threads_per_block=params["threads_per_block"])
 
-        div_nd = iterate_divergence(
-            A, b, reduction=spa, n_runs=params["n_runs"],
-            n_iter=params["n_iter"], ctx=ctx,
-        )
+        # Divergence across the merged population — the same
+        # post-processing iterate_divergence applies to its own solves.
+        div_nd = divergence_from_trajectories(payload["trajectories"])
         div_d = iterate_divergence(
             A, b, reduction=sptr, n_runs=2, n_iter=params["n_iter"], ctx=ctx
         )
@@ -57,17 +92,7 @@ class CgDivergence(Experiment):
             }
             for k in range(0, len(div_nd), max(1, len(div_nd) // 10))
         ]
-        # Batched run-axis engine: all n_runs solves advance in lockstep
-        # (one scheduler stream per run; converged runs freeze), instead of
-        # one full scalar solve per run.
-        iters = sorted(
-            {
-                res.n_iter
-                for res in conjugate_gradient_runs(
-                    A, b, params["n_runs"], reduction=spa, tol=params["tol"], ctx=ctx
-                )
-            }
-        )
+        iters = sorted(set(payload["iters"]))
         nonzero = div_nd[div_nd > 0]
         growth = float(div_nd[-1] / nonzero[0]) if nonzero.size else 0.0
         notes = (

@@ -12,17 +12,27 @@ import numpy as np
 
 from ..metrics.distribution import estimate_pdf, normality_report
 from ..runtime import RunContext
-from .base import Experiment, register
+from .base import ShardAxis, ShardableExperiment, register
+from .sharding import RunConcat
 from ._sumdist import sample_array, spa_vs_samples_arrays
 
 __all__ = ["Fig1SpaPdf"]
 
 
-class Fig1SpaPdf(Experiment):
-    """Regenerates Fig 1 (SPA Vs PDFs on the V100 model)."""
+class Fig1SpaPdf(ShardableExperiment):
+    """Regenerates Fig 1 (SPA Vs PDFs on the V100 model).
+
+    Sharding: the serial ladder is one block of ``n_arrays * n_runs``
+    scheduler streams per distribution, array-major.  A shard pre-draws
+    its run window of every array's sub-block (``seek`` + ``scheduler``)
+    and hands the explicit streams to the batched pass, so its ``(A, r)``
+    Vs slab is bit-identical to columns ``[lo, hi)`` of the serial
+    ``(A, R)`` matrix.
+    """
 
     experiment_id = "fig1"
     title = "Fig 1: PDF of Vs for SPA sums, normal and uniform inputs (V100)"
+    shardable_axes = (ShardAxis("n_runs"),)
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":
@@ -37,26 +47,46 @@ class Fig1SpaPdf(Experiment):
             "bins": 21,
         }
 
-    def _run(self, ctx: RunContext, params: dict):
-        rows: list[dict] = []
-        extra: dict = {}
+    def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
+        n_arrays, n_runs, r = params["n_arrays"], params["n_runs"], hi - lo
+        payload: dict = {}
+        # Per-distribution stream-block origin, anchored at the context's
+        # ladder position on entry (reused contexts keep continuing).
+        base = ctx.peek_run_counter()
         for stream, dist in enumerate(("uniform", "normal"), start=21):
             # NB: a fixed stream id per distribution — hash() would be
             # process-randomised and break replayability.
             data_rng = ctx.data(stream=stream)
             xs = np.stack([
                 sample_array(data_rng, params["n_elements"], dist)
-                for _ in range(params["n_arrays"])
+                for _ in range(n_arrays)
             ])
             # One (arrays, runs, n) pass on the batched engine — the
             # orders are drawn array-major in run order, bit-identical to
-            # the per-array loop this replaces.
+            # the per-array loop this replaces.  Array a's serial streams
+            # are [base + a*n_runs, base + (a+1)*n_runs); pre-draw each
+            # array's [lo, hi) window explicitly.
+            rngs = []
+            for a in range(n_arrays):
+                ctx.seek_runs(base + a * n_runs + lo)
+                rngs.extend(ctx.scheduler() for _ in range(r))
             vs_mat = spa_vs_samples_arrays(
-                xs, params["n_runs"], ctx,
+                xs, r, ctx,
                 device=params["device"],
                 threads_per_block=params["threads_per_block"],
                 n_blocks=params["n_blocks"],
+                rngs=rngs,
             )
+            payload[dist] = RunConcat(vs_mat, axis=1)
+            base += n_arrays * n_runs
+        ctx.seek_runs(base)
+        return payload
+
+    def finalize(self, ctx: RunContext, params: dict, payload: dict):
+        rows: list[dict] = []
+        extra: dict = {}
+        for dist in ("uniform", "normal"):
+            vs_mat = payload[dist]
             reports = []
             for a in range(params["n_arrays"]):
                 # Normality is assessed per array, matching the paper's "a

@@ -10,17 +10,18 @@ per run for the largest settings.
 from __future__ import annotations
 
 from ..runtime import RunContext
-from .base import Experiment, register
-from ._opruns import SweepCell, sweep_variability
+from .base import ShardAxis, ShardableExperiment, register
+from ._opruns import SweepCell, sweep_run_payloads, variability_from_payload
 
 __all__ = ["Fig3Heatmaps"]
 
 
-class Fig3Heatmaps(Experiment):
+class Fig3Heatmaps(ShardableExperiment):
     """Regenerates Fig 3 (Vc heatmaps for scatter_reduce and index_add)."""
 
     experiment_id = "fig3"
     title = "Fig 3: Vc heatmaps vs reduction ratio and input dimension"
+    shardable_axes = (ShardAxis("n_runs"),)
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":
@@ -37,11 +38,8 @@ class Fig3Heatmaps(Experiment):
             "n_runs": 15,
         }
 
-    def _run(self, ctx: RunContext, params: dict):
-        # Configuration-axis batching: the whole (dims x ratios) grid goes
-        # through one sweep_variability call (plans built up front, cells
-        # evaluated in the scalar sweep's order — bit-identical results).
-        cells = [
+    def _cells(self, params: dict) -> list[SweepCell]:
+        return [
             SweepCell("scatter_reduce", n, r, "sum")
             for n in params["sr_dims"]
             for r in params["ratios"]
@@ -51,10 +49,22 @@ class Fig3Heatmaps(Experiment):
             for r in params["ratios"]
             if r >= 0.15  # paper's index_add panel starts at R = 0.2
         ]
-        results = sweep_variability(cells, params["n_runs"], ctx)
+
+    def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
+        # Configuration-axis batching: the whole (dims x ratios) grid goes
+        # through one windowed sweep pass (plans built up front, cells
+        # evaluated in the scalar sweep's order — bit-identical results).
+        return {
+            "cells": sweep_run_payloads(
+                self._cells(params), params["n_runs"], ctx, lo=lo, hi=hi
+            )
+        }
+
+    def finalize(self, ctx: RunContext, params: dict, payload: dict):
+        results = [variability_from_payload(p) for p in payload["cells"]]
         rows = [
             {"op": c.op, "input_dim": c.n, "R": c.ratio, "vc_mean": v.vc_mean}
-            for c, v in zip(cells, results)
+            for c, v in zip(self._cells(params), results)
         ]
         notes = (
             "Trend checks: for both ops, Vc grows with input dimension and "

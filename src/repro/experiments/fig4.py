@@ -9,17 +9,18 @@ index_add rises approximately linearly with R.
 from __future__ import annotations
 
 from ..runtime import RunContext
-from .base import Experiment, register
-from ._opruns import SweepCell, sweep_variability
+from .base import ShardAxis, ShardableExperiment, register
+from ._opruns import SweepCell, sweep_run_payloads, variability_from_payload
 
 __all__ = ["Fig4VcVsRatio"]
 
 
-class Fig4VcVsRatio(Experiment):
+class Fig4VcVsRatio(ShardableExperiment):
     """Regenerates Fig 4 (Vc vs R for scatter_reduce and index_add)."""
 
     experiment_id = "fig4"
     title = "Fig 4: count variability vs reduction ratio"
+    shardable_axes = (ShardAxis("n_runs"),)
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":
@@ -32,11 +33,8 @@ class Fig4VcVsRatio(Experiment):
             "sr_dim": 2_000, "ia_dim": 100, "n_runs": 40,
         }
 
-    def _run(self, ctx: RunContext, params: dict):
-        # Configuration-axis batching: the ratio sweep's cells (sum, mean,
-        # index_add per ratio — the scalar loop's order) go through one
-        # sweep_variability call with plans built up front.
-        cells = [
+    def _cells(self, params: dict) -> list[SweepCell]:
+        return [
             SweepCell(*spec)
             for r in params["ratios"]
             for spec in (
@@ -45,7 +43,19 @@ class Fig4VcVsRatio(Experiment):
                 ("index_add", params["ia_dim"], r),
             )
         ]
-        results = sweep_variability(cells, params["n_runs"], ctx)
+
+    def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
+        # Configuration-axis batching: the ratio sweep's cells (sum, mean,
+        # index_add per ratio — the scalar loop's order) go through one
+        # windowed sweep pass with plans built up front.
+        return {
+            "cells": sweep_run_payloads(
+                self._cells(params), params["n_runs"], ctx, lo=lo, hi=hi
+            )
+        }
+
+    def finalize(self, ctx: RunContext, params: dict, payload: dict):
+        results = [variability_from_payload(p) for p in payload["cells"]]
         rows: list[dict] = []
         for i, r in enumerate(params["ratios"]):
             sr_sum, sr_mean, ia = results[3 * i : 3 * i + 3]

@@ -8,17 +8,18 @@ the 1e-8 .. 2e-7 band, rising with R, with inconsistently sized error bars.
 from __future__ import annotations
 
 from ..runtime import RunContext
-from .base import Experiment, register
-from ._opruns import SweepCell, sweep_variability
+from .base import ShardAxis, ShardableExperiment, register
+from ._opruns import SweepCell, sweep_run_payloads, variability_from_payload
 
 __all__ = ["Fig5VermvVsRatio"]
 
 
-class Fig5VermvVsRatio(Experiment):
+class Fig5VermvVsRatio(ShardableExperiment):
     """Regenerates Fig 5 (Vermv vs R for scatter_reduce and index_add)."""
 
     experiment_id = "fig5"
     title = "Fig 5: tensor variability (Vermv) vs reduction ratio"
+    shardable_axes = (ShardAxis("n_runs"),)
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":
@@ -31,9 +32,8 @@ class Fig5VermvVsRatio(Experiment):
             "sr_dim": 2_000, "ia_dim": 100, "n_runs": 40,
         }
 
-    def _run(self, ctx: RunContext, params: dict):
-        # Configuration-axis batching; cell order matches the scalar loop.
-        cells = [
+    def _cells(self, params: dict) -> list[SweepCell]:
+        return [
             SweepCell(*spec)
             for r in params["ratios"]
             for spec in (
@@ -42,7 +42,17 @@ class Fig5VermvVsRatio(Experiment):
                 ("index_add", params["ia_dim"], r),
             )
         ]
-        results = sweep_variability(cells, params["n_runs"], ctx)
+
+    def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
+        # Configuration-axis batching; cell order matches the scalar loop.
+        return {
+            "cells": sweep_run_payloads(
+                self._cells(params), params["n_runs"], ctx, lo=lo, hi=hi
+            )
+        }
+
+    def finalize(self, ctx: RunContext, params: dict, payload: dict):
+        results = [variability_from_payload(p) for p in payload["cells"]]
         rows: list[dict] = []
         for i, r in enumerate(params["ratios"]):
             sr_sum, sr_mean, ia = results[3 * i : 3 * i + 3]

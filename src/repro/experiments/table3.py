@@ -15,23 +15,25 @@ import numpy as np
 
 from ..openmp import OpenMPRuntime
 from ..runtime import RunContext
-from .base import Experiment, register
+from .base import ShardAxis, ShardableExperiment, register
+from .sharding import RunConcat
 
 __all__ = ["Table3OpenMP"]
 
 
-class Table3OpenMP(Experiment):
+class Table3OpenMP(ShardableExperiment):
     """Regenerates Table 3 (normal vs ordered OpenMP reductions)."""
 
     experiment_id = "table3"
     title = "Table 3: normal and ordered reductions using OpenMP on CPU"
+    shardable_axes = (ShardAxis("n_trials"),)
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":
             return {"n_elements": 1_000_000, "n_trials": 10, "num_threads": 64}
         return {"n_elements": 100_000, "n_trials": 10, "num_threads": 32}
 
-    def _run(self, ctx: RunContext, params: dict):
+    def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
         rng = ctx.data(stream=3)
         # Small positive terms around 2.35e-12 so the total lands near the
         # paper's 2.35e-07 magnitude.
@@ -39,9 +41,17 @@ class Table3OpenMP(Experiment):
         rt = OpenMPRuntime(num_threads=params["num_threads"], ctx=ctx)
         # Batched run-axis engine: the static-schedule thread partials are
         # folded once and only the per-trial combine orders are sampled —
-        # bit-identical to looping reduce_sum per trial.
-        normal = rt.reduce_many(x, params["n_trials"], ordered=False)
-        ordered = rt.reduce_many(x, params["n_trials"], ordered=True)
+        # bit-identical to looping reduce_sum per trial.  Trial t consumes
+        # the t-th stream after the context's current ladder position, so
+        # the shard's window is streams [base + lo, base + hi); the
+        # ordered fold draws nothing and is trial-invariant.
+        ctx.seek_runs(ctx.peek_run_counter() + lo)
+        normal = rt.reduce_many(x, hi - lo, ordered=False) if hi > lo else np.empty(0)
+        ordered = rt.reduce_many(x, hi - lo, ordered=True) if hi > lo else np.empty(0)
+        return {"normal": RunConcat(normal), "ordered": RunConcat(ordered)}
+
+    def finalize(self, ctx: RunContext, params: dict, payload: dict):
+        normal, ordered = payload["normal"], payload["ordered"]
         # Full 17-significant-digit strings: the variability lives in the
         # last couple of digits, exactly like the paper's Table 3.
         rows = [

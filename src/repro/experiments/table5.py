@@ -28,23 +28,37 @@ from ..ops import (
 )
 from ..ops.segmented import SegmentPlan
 from ..runtime import RunContext
-from .base import Experiment, register
-from ._opruns import index_add_variability, scatter_reduce_variability
+from .base import ShardAxis, ShardableExperiment, register
+from .sharding import RunConcat
+from ._opruns import SweepCell, sweep_run_payloads, variability_from_payload
 
 __all__ = ["Table5OpSweep"]
 
 
-def _mean_ermv(reference: np.ndarray, outputs: list[np.ndarray]) -> float:
-    vals = np.array([ermv(reference, o) for o in outputs])
+def _finite_mean(vals: np.ndarray) -> float:
     finite = vals[np.isfinite(vals)]
     return float(finite.mean()) if finite.size else float("inf")
 
 
-class Table5OpSweep(Experiment):
-    """Regenerates Table 5 (per-op min/max Vermv over hyperparameters)."""
+def _per_run_ermvs(reference: np.ndarray, outputs: list[np.ndarray]) -> RunConcat:
+    """One window's per-run Vermv values, tagged for shard concatenation."""
+    return RunConcat(np.array([ermv(reference, o) for o in outputs]))
+
+
+class Table5OpSweep(ShardableExperiment):
+    """Regenerates Table 5 (per-op min/max Vermv over hyperparameters).
+
+    Sharding: every configuration of every op consumes one contiguous
+    block of scheduler streams (``n_runs`` per configuration, plus the
+    reference stream for ``scatter_reduce``), in the fixed op/config order
+    of :meth:`shard_run`.  A shard walks the same ladder, seeking to its
+    run window inside each block — per-run Vermv values merge by
+    concatenation into exactly the serial per-config vectors.
+    """
 
     experiment_id = "table5"
     title = "Table 5: max and min variability for non-deterministic operations"
+    shardable_axes = (ShardAxis("n_runs"),)
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":
@@ -64,30 +78,49 @@ class Table5OpSweep(Experiment):
         grid3 = [(L, 3, s, p) for L in sizes3 for s in strides for p in pads]
         return grid1, grid2, grid3
 
-    def _run_conv(self, nd: int, grid, n_runs: int, ctx: RunContext) -> list[float]:
-        per_config: list[float] = []
+    def _cumsum_sizes(self, rich: bool):
+        return (100, 1_000, 20_000, 100_000) if rich else (100, 1_000, 20_000)
+
+    def _ia_grid(self, rich: bool):
+        return ((50, 0.5), (100, 0.5), (100, 1.0)) if not rich else (
+            (50, 0.5), (100, 0.3), (100, 0.5), (100, 1.0), (200, 0.8))
+
+    def _sr_grid(self, rich: bool):
+        return ((500, 0.1), (2_000, 0.5), (2_000, 1.0)) if not rich else (
+            (500, 0.1), (1_000, 0.5), (2_000, 0.5), (2_000, 1.0), (5_000, 0.9))
+
+    def _shard_conv(self, nd: int, grid, ctx: RunContext, lo: int, hi: int,
+                    n_runs: int, base: int) -> tuple[list[RunConcat], int]:
+        per_config: list[RunConcat] = []
         for L, k, s, p in grid:
             rng = ctx.data(stream=(nd * 31 + L * 7 + k * 5 + s * 3 + p) % 2**31)
             x = rng.standard_normal((2, 6) + (L,) * nd).astype(np.float32)
             w = rng.standard_normal((6, 4) + (k,) * nd).astype(np.float32)
             # Batched engine: one tap-plan build per configuration, reused
             # by the reference and all runs (bit-identical to the scalar
-            # per-run loop).
+            # per-run loop).  Config block = streams [base, base + n_runs).
+            ctx.seek_runs(base + lo)
             ref, outs = conv_transpose_runs(
-                x, w, nd=nd, n_runs=n_runs, stride=s, padding=p, ctx=ctx
+                x, w, nd=nd, n_runs=hi - lo, stride=s, padding=p, ctx=ctx
             )
-            per_config.append(_mean_ermv(ref, outs))
-        return per_config
+            per_config.append(_per_run_ermvs(ref, outs))
+            base += n_runs
+        return per_config, base
 
-    def _run(self, ctx: RunContext, params: dict):
+    def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
         n_runs = params["n_runs"]
         rich = params["rich_grid"]
-        results: dict[str, list[float]] = {}
+        r = hi - lo
+        payload: dict[str, list] = {}
+        # Stream position of the current config block, anchored at the
+        # context's ladder position on entry (so a reused context keeps
+        # continuing its ladder, exactly like the pre-sharding loop).
+        base = ctx.peek_run_counter()
 
         g1, g2, g3 = self._conv_grid(rich)
-        results["ConvTranspose1d"] = self._run_conv(1, g1, n_runs, ctx)
-        results["ConvTranspose2d"] = self._run_conv(2, g2, n_runs, ctx)
-        results["ConvTranspose3d"] = self._run_conv(3, g3, n_runs, ctx)
+        payload["ConvTranspose1d"], base = self._shard_conv(1, g1, ctx, lo, hi, n_runs, base)
+        payload["ConvTranspose2d"], base = self._shard_conv(2, g2, ctx, lo, hi, n_runs, base)
+        payload["ConvTranspose3d"], base = self._shard_conv(3, g3, ctx, lo, hi, n_runs, base)
 
         # cumsum: sizes sweep; reference = strict serial scan.  Positive
         # inputs keep the prefix away from zero — with near-cancelling data
@@ -95,27 +128,37 @@ class Table5OpSweep(Experiment):
         # n = 100 configuration fits inside every chunk choice, so all
         # orders agree bitwise (the paper's min(Vermv) = 0 row).
         vals = []
-        for n in ((100, 1_000, 20_000, 100_000) if rich else (100, 1_000, 20_000)):
+        for n in self._cumsum_sizes(rich):
             rng = ctx.data(stream=n % 2**31)
             x = rng.uniform(0.0, 1.0, n).astype(np.float32)
             ref = cumsum(x, deterministic=True)
             # Batched engine: all chunk draws up front, one blocked scan
             # per distinct chunk (bit-identical to the scalar per-run loop).
-            outs = cumsum_runs(x, 0, n_runs, ctx=ctx)
-            vals.append(_mean_ermv(ref, outs))
-        results["cumsum"] = vals
+            ctx.seek_runs(base + lo)
+            outs = cumsum_runs(x, 0, r, ctx=ctx)
+            vals.append(_per_run_ermvs(ref, outs))
+            base += n_runs
+        payload["cumsum"] = vals
 
-        # index_add / scatter_reduce reuse the Figs 3-5 workloads.
-        ia_grid = ((50, 0.5), (100, 0.5), (100, 1.0)) if not rich else (
-            (50, 0.5), (100, 0.3), (100, 0.5), (100, 1.0), (200, 0.8))
-        results["index_add"] = [
-            index_add_variability(n, r, n_runs, ctx).ermv_mean for n, r in ia_grid
-        ]
-        sr_grid = ((500, 0.1), (2_000, 0.5), (2_000, 1.0)) if not rich else (
-            (500, 0.1), (1_000, 0.5), (2_000, 0.5), (2_000, 1.0), (5_000, 0.9))
-        results["scatter_reduce"] = [
-            scatter_reduce_variability(n, r, "sum", n_runs, ctx).ermv_mean for n, r in sr_grid
-        ]
+        # index_add / scatter_reduce reuse the Figs 3-5 workloads (and the
+        # windowed sweep kernel, one cell per configuration so the stream
+        # blocks match the serial per-config calls).
+        per = []
+        for n, ratio in self._ia_grid(rich):
+            ctx.seek_runs(base)
+            per.append(sweep_run_payloads(
+                [SweepCell("index_add", n, ratio)], n_runs, ctx, lo=lo, hi=hi
+            )[0])
+            base += n_runs
+        payload["index_add"] = per
+        per = []
+        for n, ratio in self._sr_grid(rich):
+            ctx.seek_runs(base)
+            per.append(sweep_run_payloads(
+                [SweepCell("scatter_reduce", n, ratio, "sum")], n_runs, ctx, lo=lo, hi=hi
+            )[0])
+            base += n_runs + 1  # + the scatter_reduce reference run
+        payload["scatter_reduce"] = per
 
         # index_copy / index_put / scatter: duplicate-index write races.
         # Duplicate writers carry near-identical values (the realistic case:
@@ -123,31 +166,44 @@ class Table5OpSweep(Experiment):
         # computed along different paths), so a winner flip perturbs the
         # output at the 1e-6-relative level — Table 5's band.
         copy_stream = {"index_copy": 101, "index_put": 102, "scatter": 103}
-        for name, fn in (("index_copy", "copy"), ("index_put", "put"), ("scatter", "scat")):
+        for name in ("index_copy", "index_put", "scatter"):
             vals = []
-            for n, r in ((200, 0.5), (1_000, 0.9)):
+            for n, ratio in ((200, 0.5), (1_000, 0.9)):
                 rng = ctx.data(stream=(copy_stream[name] * 4096 + n) % 2**31)
-                n_targets = max(1, round(r * n))
+                n_targets = max(1, round(ratio * n))
                 idx = rng.integers(0, n_targets, size=n)
                 per_target = rng.standard_normal((n_targets, 8)).astype(np.float32)
                 jitter = 1.0 + 1e-6 * rng.standard_normal((n, 8)).astype(np.float32)
                 src = per_target[idx] * jitter
                 inp = rng.standard_normal((n_targets, 8)).astype(np.float32)
-                # Batched engine: the n_runs winner races fold through one
+                # Batched engine: the winner races fold through one
                 # canonical output plus the raced segments' recomputed
                 # winners (bit-identical to the scalar per-run loop).
                 plan = SegmentPlan(idx, n_targets)
+                ctx.seek_runs(base + lo)
                 if name == "index_copy":
                     ref = index_copy(inp, 0, idx, src, plan=plan, deterministic=True)
-                    outs = index_copy_runs(inp, 0, idx, src, n_runs, plan=plan, ctx=ctx)
+                    outs = index_copy_runs(inp, 0, idx, src, r, plan=plan, ctx=ctx)
                 elif name == "index_put":
                     ref = index_put(inp, idx, src, plan=plan, deterministic=True)
-                    outs = index_put_runs(inp, idx, src, n_runs, plan=plan, ctx=ctx)
+                    outs = index_put_runs(inp, idx, src, r, plan=plan, ctx=ctx)
                 else:
                     ref = scatter(inp, 0, idx, src, plan=plan, deterministic=True)
-                    outs = scatter_runs(inp, 0, idx, src, n_runs, plan=plan, ctx=ctx)
-                vals.append(_mean_ermv(ref, outs))
-            results[name] = vals
+                    outs = scatter_runs(inp, 0, idx, src, r, plan=plan, ctx=ctx)
+                vals.append(_per_run_ermvs(ref, outs))
+                base += n_runs
+            payload[name] = vals
+        return payload
+
+    def finalize(self, ctx: RunContext, params: dict, payload: dict):
+        results: dict[str, list[float]] = {}
+        for op, per_config in payload.items():
+            if op in ("index_add", "scatter_reduce"):
+                results[op] = [
+                    variability_from_payload(p).ermv_mean for p in per_config
+                ]
+            else:
+                results[op] = [_finite_mean(np.asarray(v)) for v in per_config]
 
         rows = [
             {

@@ -26,9 +26,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.datasets import cora_like
-from ..metrics.array import count_variability, ermv, runs_all_unique
+from ..metrics.array import count_variability, ermv
 from ..runtime import RunContext
-from .base import Experiment, register
+from .base import ShardAxis, ShardableExperiment, register
+from .sharding import DigestSet, RunConcat, run_digest
 from ._gnn import (
     gnn_training_cost_s,
     run_inference,
@@ -40,11 +41,19 @@ from ._gnn import (
 __all__ = ["Table7GnnVariability"]
 
 
-class Table7GnnVariability(Experiment):
-    """Regenerates Table 7 (+ epoch-drift and uniqueness results)."""
+class Table7GnnVariability(ShardableExperiment):
+    """Regenerates Table 7 (+ epoch-drift and uniqueness results).
+
+    Sharding: the model population is the run axis.  The serial stream
+    ladder is four contiguous blocks of ``n_models`` streams — D/ND
+    inference, ND training, ND/ND training, ND/ND inference (deterministic
+    phases draw nothing) — so a shard seeks to its window of each block
+    and its per-model metrics merge by concatenation.
+    """
 
     experiment_id = "table7"
     title = "Table 7: Vermv and Vc for D/ND training-inference combinations"
+    shardable_axes = (ShardAxis("n_models"),)
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":
@@ -63,7 +72,10 @@ class Table7GnnVariability(Experiment):
             "n_models": 6,
         }
 
-    def _run(self, ctx: RunContext, params: dict):
+    _COMBOS = (("D", "D"), ("D", "ND"), ("ND", "D"), ("ND", "ND"))
+
+    def _reference(self, ctx: RunContext, params: dict):
+        """Dataset + deterministic reference (no scheduler draws)."""
         ds = cora_like(
             num_nodes=params["num_nodes"],
             num_edges=params["num_edges"],
@@ -71,48 +83,87 @@ class Table7GnnVariability(Experiment):
             num_classes=params["num_classes"],
             ctx=ctx,
         )
-        n_models = params["n_models"]
-
-        # Reference: deterministic training + deterministic inference.
         ref_run = train_graphsage(
             ds, hidden=params["hidden"], epochs=params["epochs"],
             lr=params["lr"], deterministic=True, ctx=ctx,
         )
         ref_logits = run_inference(ref_run.model, ds, deterministic=True, ctx=ctx)
+        return ds, ref_run, ref_logits
 
-        combos = [("D", "D"), ("D", "ND"), ("ND", "D"), ("ND", "ND")]
-        rows: list[dict] = []
+    def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
+        ds, ref_run, ref_logits = self._reference(ctx, params)
+        n_models = params["n_models"]
+        r = hi - lo
+
+        combo_stats = []
         nd_population = None
-        for train_mode, infer_mode in combos:
+        # Block origin: the context's ladder position on entry (a reused
+        # context keeps continuing its ladder, like the pre-sharding loop).
+        base = ctx.peek_run_counter()
+        for train_mode, infer_mode in self._COMBOS:
             if train_mode == "D":
-                # The D population is one model, n_models times over: reuse
-                # the reference training and run only the inference batch.
+                # The D population is one model, r times over: reuse the
+                # reference training and run only the inference window.
                 if infer_mode == "D":
                     logits_runs = np.broadcast_to(
-                        ref_logits, (n_models,) + ref_logits.shape
+                        ref_logits, (r,) + ref_logits.shape
                     )
                 else:
+                    # Serial block 0: D/ND inference streams [0, n_models).
+                    ctx.seek_runs(base + lo)
                     logits_runs = run_inference_runs(
                         ref_run.model, ds, deterministic=False, ctx=ctx,
-                        n_runs=n_models,
+                        n_runs=r,
                     )
             else:
+                # Serial blocks 1 (ND/D) and 2 (ND/ND): training streams
+                # [n_models, 2n) and [2n, 3n).
+                ctx.seek_runs(
+                    base + (1 if infer_mode == "D" else 2) * n_models + lo
+                )
                 runs = train_graphsage_runs(
                     ds, hidden=params["hidden"], epochs=params["epochs"],
                     lr=params["lr"], deterministic=False, ctx=ctx,
-                    n_runs=n_models,
+                    n_runs=r,
                 )
+                if infer_mode == "ND":
+                    # Serial block 3: ND/ND inference streams [3n, 4n).
+                    ctx.seek_runs(base + 3 * n_models + lo)
                 logits_runs = run_inference_runs(
                     runs.model, ds, deterministic=infer_mode == "D", ctx=ctx,
-                    n_runs=n_models,
+                    n_runs=r,
                 )
                 if infer_mode == "ND":
                     nd_population = runs
-            ermvs = [ermv(ref_logits, logits_runs[m]) for m in range(n_models)]
-            vcs = [count_variability(ref_logits, logits_runs[m]) for m in range(n_models)]
-            e = np.asarray(ermvs)
+            ermvs = [ermv(ref_logits, logits_runs[m]) for m in range(r)]
+            vcs = [count_variability(ref_logits, logits_runs[m]) for m in range(r)]
+            combo_stats.append(
+                {"ermvs": RunConcat(np.asarray(ermvs)), "vcs": RunConcat(np.asarray(vcs))}
+            )
+
+        # Epoch drift + uniqueness carriers over the ND-trained window.
+        ref_epochs = ref_run.epoch_weights
+        drift = [
+            RunConcat(np.asarray([
+                ermv(ref_epochs[ep], nd_population.epoch_weights[ep][m])
+                for m in range(r)
+            ]))
+            for ep in range(params["epochs"])
+        ]
+        return {
+            "combos": combo_stats,
+            "drift": drift,
+            "weight_digests": DigestSet(run_digest(w) for w in nd_population.weights),
+            "final_losses": RunConcat(np.asarray(nd_population.losses[-1])),
+        }
+
+    def finalize(self, ctx: RunContext, params: dict, payload: dict):
+        n_models = params["n_models"]
+        rows: list[dict] = []
+        for (train_mode, infer_mode), stats in zip(self._COMBOS, payload["combos"]):
+            e = np.asarray(stats["ermvs"])
             e = e[np.isfinite(e)]
-            v = np.asarray(vcs)
+            v = np.asarray(stats["vcs"])
             rows.append(
                 {
                     "training": train_mode,
@@ -124,34 +175,23 @@ class Table7GnnVariability(Experiment):
                 }
             )
 
-        # Epoch drift + uniqueness over the ND-trained population.
         drift_rows = []
-        if nd_population is not None:
-            ref_epochs = ref_run.epoch_weights
-            for ep in range(params["epochs"]):
-                vals = [
-                    ermv(ref_epochs[ep], nd_population.epoch_weights[ep][m])
-                    for m in range(n_models)
-                ]
-                vals = np.asarray(vals)
-                vals = vals[np.isfinite(vals)]
-                drift_rows.append(
-                    {
-                        "epoch": ep + 1,
-                        "weight_ermv_mean": float(vals.mean()) if vals.size else 0.0,
-                        "weight_ermv_std": float(vals.std()) if vals.size else 0.0,
-                    }
-                )
+        for ep, vals in enumerate(payload["drift"]):
+            vals = np.asarray(vals)
+            vals = vals[np.isfinite(vals)]
+            drift_rows.append(
+                {
+                    "epoch": ep + 1,
+                    "weight_ermv_mean": float(vals.mean()) if vals.size else 0.0,
+                    "weight_ermv_std": float(vals.std()) if vals.size else 0.0,
+                }
+            )
+        # Bitwise uniqueness via content digests — the cross-process form
+        # of metrics.array.runs_all_unique (digest set size == population).
         all_unique = (
-            runs_all_unique(list(nd_population.weights))
-            if nd_population is not None and n_models > 1
-            else None
+            len(payload["weight_digests"]) == n_models if n_models > 1 else None
         )
-        final_losses = (
-            list(nd_population.losses[-1])
-            if nd_population is not None
-            else [ref_run.losses[-1]]
-        )
+        final_losses = list(payload["final_losses"])
 
         # Training-cost note at the paper's full-Cora dimensions (the
         # scaled-down default graph is overhead-dominated and uninformative).

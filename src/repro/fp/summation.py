@@ -58,6 +58,17 @@ the single ``integers(len(chunk_ladder))`` draw of ``cumsum``'s chunk
 ladder, the one-stream-per-solve sequence of the CG run batch, and the
 one-stream-per-training-run layout of the GNN stack — are catalogued in
 :mod:`repro.gpusim.scheduler`'s module docstring.
+
+Because every per-run stream is a pure function of ``(seed, run_index)``,
+the run axis also *partitions*: the sharded executor
+(:mod:`repro.harness.parallel`) splits ``R`` runs across worker processes,
+each shard replaying its window of the ladder via
+``RunContext(run_offset=...)`` / ``seek_runs`` and folding only its own
+rows — per-run fold bits are untouched by the split (row folds depend only
+on their own row), so concatenated shard results are bit-identical to the
+single-process run matrix.  The ``run_offset`` extension of the contract
+is documented in :mod:`repro.gpusim.scheduler` and fuzz-pinned in
+``tests/test_batched_engine.py``.
 """
 
 from __future__ import annotations

@@ -59,6 +59,21 @@ expand each warp to its (precomputed) lane-ordered element ids.
 ``tests/test_batched_engine.py`` pins the scalar↔batched equivalence
 bit-for-bit across devices, contentions and odd shapes.
 
+Sharding: the ``run_offset`` extension of the contract
+------------------------------------------------------
+Because stream ``k`` is a pure function of ``(seed, k)`` (no hidden state
+crosses runs), the one-stream-per-run contract extends to *partitions* of
+the run axis: a :class:`WaveSchedulerBatch` built with ``run_offset=off``
+(or over a context whose ladder was positioned with
+:meth:`repro.runtime.RunContext.seek_runs`) samples rows bit-identical to
+rows ``[off, off + r)`` of the full ``R``-run batch.  Concatenating shard
+batches in offset order therefore reproduces the serial batch exactly —
+the invariant the sharded experiment executor
+(:mod:`repro.harness.parallel`) relies on to merge multi-process shards
+into bit-exact single-process results.  ``tests/test_sharded_executor.py``
+and the fuzz suite in ``tests/test_batched_engine.py`` pin this for
+randomised offsets and shard boundaries.
+
 Draw contracts of the other batched run consumers
 -------------------------------------------------
 The one-stream-per-run rule generalises beyond this module; every batched
@@ -472,6 +487,12 @@ class WaveSchedulerBatch:
         Maximum runs materialised per internal chunk (bounds the transient
         ``(chunk, n)`` matrices); default derives from
         :data:`repro.fp.summation.DEFAULT_RUN_CHUNK_ELEMENTS`.
+    run_offset:
+        Position the context's scheduler ladder at this absolute run index
+        before the first draw.  A batch with ``run_offset=off`` samples
+        rows bit-identical to rows ``[off, off + n_runs)`` of an
+        un-offset batch over the same seed — the shard-derivation contract
+        (module docstring) used by the parallel executor.
     """
 
     def __init__(
@@ -481,9 +502,14 @@ class WaveSchedulerBatch:
         params: SchedulerParams | None = None,
         *,
         chunk_runs: int | None = None,
+        run_offset: int | None = None,
     ) -> None:
         self.launch = launch
         self.ctx = ctx
+        if run_offset is not None:
+            if ctx is None:
+                raise SchedulerError("run_offset needs a ctx to position")
+            ctx.seek_runs(run_offset)
         self.params = _resolve_params(launch, params)
         self.chunk_runs = chunk_runs
         # Borrow the scalar transform helpers so both paths share one

@@ -1,7 +1,26 @@
-"""Sweep, timing and CLI utilities for running the experiments."""
+"""Sweep, timing, parallel-execution, caching and CLI utilities."""
 
 from .sweep import grid, Sweep
 from .timing import time_callable, TimingStats
-from .results import save_result, load_result
+from .results import (
+    save_result,
+    load_result,
+    code_fingerprint,
+    cache_key,
+    ResultCache,
+)
+from .parallel import ShardedExecutor, default_workers
 
-__all__ = ["grid", "Sweep", "time_callable", "TimingStats", "save_result", "load_result"]
+__all__ = [
+    "grid",
+    "Sweep",
+    "time_callable",
+    "TimingStats",
+    "save_result",
+    "load_result",
+    "code_fingerprint",
+    "cache_key",
+    "ResultCache",
+    "ShardedExecutor",
+    "default_workers",
+]

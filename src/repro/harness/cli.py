@@ -4,21 +4,69 @@ Usage::
 
     repro-experiments list
     repro-experiments run table1 [--scale default|paper] [--seed N]
-                                 [--json] [--out DIR]
-    repro-experiments run-all [--scale default] [--out DIR]
+                                 [--workers N] [--json] [--out DIR]
+                                 [--no-cache] [--cache-dir DIR]
+    repro-experiments run-all [--scale default] [--seed N] [--workers N]
+                              [--out DIR] [--no-cache] [--cache-dir DIR]
+
+Parallelism: ``--workers N`` (default: the ``REPRO_WORKERS`` environment
+variable, else 1) shards each shardable experiment's simulated runs
+across ``N`` worker processes and merges the shards **bit-exactly** —
+results are identical to serial execution, only faster.  Non-shardable
+experiments run serially regardless of ``--workers``.
+
+Caching: results are content-addressed by (experiment id, scale, seed,
+code fingerprint) and reused from ``--cache-dir`` (default:
+``$REPRO_CACHE_DIR`` or ``~/.cache/repro-experiments``); ``run`` /
+``run-all`` skip cache hits and ``--no-cache`` forces recomputation.
+Any source edit changes the fingerprint, so stale results are never
+served.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 
 from ..errors import ReproError
 from ..experiments import get_experiment, list_experiments, to_json, to_markdown
-from ..runtime import RunContext
-from .results import save_result
+from .parallel import ShardedExecutor
+from .results import ResultCache, cache_key, save_result
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "default_cache_dir"]
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` or ``~/.cache/repro-experiments``."""
+    env = os.environ.get(CACHE_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-experiments"
+
+
+def _add_run_options(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--scale", default="default", choices=("default", "paper"))
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default=None, help="directory to archive the result JSON")
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="shard runs across N processes (default: $REPRO_WORKERS or 1); "
+        "merging is bit-exact, so results never depend on N",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute even when a cached result exists",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-experiments)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -33,16 +81,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one experiment")
     run.add_argument("experiment_id", help="e.g. table1, fig3, maxvs")
-    run.add_argument("--scale", default="default", choices=("default", "paper"))
-    run.add_argument("--seed", type=int, default=0)
     run.add_argument("--json", action="store_true", help="print JSON instead of markdown")
-    run.add_argument("--out", default=None, help="directory to archive the result JSON")
+    _add_run_options(run)
 
     runall = sub.add_parser("run-all", help="run every experiment")
-    runall.add_argument("--scale", default="default", choices=("default", "paper"))
-    runall.add_argument("--seed", type=int, default=0)
-    runall.add_argument("--out", default=None)
+    _add_run_options(runall)
     return p
+
+
+def _run_one(executor, cache, eid: str, args) -> tuple:
+    """Cache-aware single-experiment execution; returns (result, hit)."""
+    key = cache_key(eid, args.scale, args.seed)
+    if cache is not None:
+        cached = cache.lookup(key)
+        if cached is not None:
+            return cached, True
+    result = executor.run(eid, scale=args.scale, seed=args.seed)
+    if cache is not None:
+        cache.store(key, result)
+    return result, False
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -54,22 +111,29 @@ def main(argv: list[str] | None = None) -> int:
                 exp = get_experiment(eid)
                 print(f"{eid:10s} {exp.title}")
             return 0
-        if args.command == "run":
-            exp = get_experiment(args.experiment_id)
-            result = exp.run(scale=args.scale, ctx=RunContext(seed=args.seed))
-            print(to_json(result) if args.json else to_markdown(result))
-            if args.out:
-                path = save_result(result, args.out)
-                print(f"[saved {path}]", file=sys.stderr)
-            return 0
-        if args.command == "run-all":
-            for eid in list_experiments():
-                exp = get_experiment(eid)
-                result = exp.run(scale=args.scale, ctx=RunContext(seed=args.seed))
-                print(to_markdown(result))
+        cache = None
+        if not args.no_cache:
+            cache = ResultCache(args.cache_dir or default_cache_dir())
+        with ShardedExecutor(workers=args.workers) as executor:
+            if args.command == "run":
+                get_experiment(args.experiment_id)  # fail fast on unknown ids
+                result, hit = _run_one(executor, cache, args.experiment_id, args)
+                print(to_json(result) if args.json else to_markdown(result))
+                if hit:
+                    print("[cache hit]", file=sys.stderr)
                 if args.out:
-                    save_result(result, args.out)
-            return 0
+                    path = save_result(result, args.out)
+                    print(f"[saved {path}]", file=sys.stderr)
+                return 0
+            if args.command == "run-all":
+                for eid in list_experiments():
+                    result, hit = _run_one(executor, cache, eid, args)
+                    print(to_markdown(result))
+                    if hit:
+                        print(f"[cache hit: {eid}]", file=sys.stderr)
+                    if args.out:
+                        save_result(result, args.out)
+                return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

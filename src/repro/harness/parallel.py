@@ -1,0 +1,169 @@
+"""Sharded multi-process experiment executor.
+
+Partitions an experiment's ``R`` simulated runs into per-worker shards,
+executes them in a spawn-safe :mod:`multiprocessing` pool, and merges the
+shard payloads into the **bit-exact** single-process result.  The safety
+argument is the engine-wide one-stream-per-run RNG contract
+(:mod:`repro.gpusim.scheduler`): scheduler streams are pure functions of
+``(seed, run_index)``, so a shard that seeks the ladder to its run window
+draws exactly the streams the serial experiment would, and per-run
+payloads concatenate (:mod:`repro.experiments.sharding`) into the serial
+payload bit for bit.  ``tests/test_sharded_executor.py`` pins this for
+every shardable experiment.
+
+Workers default to ``REPRO_WORKERS`` (else 1 — serial).  The pool is
+created lazily and reused across experiments (``run-all`` pays the spawn
+cost once); use the executor as a context manager, or call
+:meth:`ShardedExecutor.close`.
+
+Example
+-------
+>>> from repro.harness.parallel import ShardedExecutor
+>>> with ShardedExecutor(workers=4) as ex:
+...     result = ex.run("fig3", scale="default", seed=0)
+>>> # result.rows is bit-identical to get_experiment("fig3").run(...)
+
+Non-shardable experiments (no ``shardable_axes``) transparently fall back
+to serial execution, so ``run-all --workers N`` is always safe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+from ..errors import ExperimentError
+from ..experiments.base import Experiment, ExperimentResult, get_experiment
+from ..experiments.sharding import plan_shards
+from ..runtime import RunContext
+
+__all__ = ["ShardedExecutor", "default_workers", "plan_shards"]
+
+#: Environment variable supplying the default worker count.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def default_workers() -> int:
+    """Worker count from ``REPRO_WORKERS`` (>= 1); 1 when unset/invalid."""
+    raw = os.environ.get(WORKERS_ENV, "")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 1
+
+
+def _shard_task(task: tuple) -> dict:
+    """Worker entry point: evaluate one shard's run window.
+
+    Module-level (picklable by qualified name) and parameterised only by
+    primitives, so it survives the ``spawn`` start method — each worker
+    re-imports the library and rebuilds the experiment registry.
+    """
+    experiment_id, scale, seed, overrides, lo, hi = task
+    exp = get_experiment(experiment_id)
+    params = exp.resolve_params(scale, overrides)
+    return exp.shard_run(RunContext(seed=seed), params, lo, hi)
+
+
+class ShardedExecutor:
+    """Runs experiments across a multiprocessing pool with bit-exact merging.
+
+    Parameters
+    ----------
+    workers:
+        Shard/worker count; ``None`` reads ``REPRO_WORKERS`` (default 1).
+        ``workers <= 1`` executes everything serially in-process.
+    start_method:
+        Multiprocessing start method; ``"spawn"`` (the default) is the
+        only portable choice (fork would inherit live NumPy state), and
+        what the executor is tested with.
+    """
+
+    def __init__(self, workers: int | None = None, *, start_method: str = "spawn") -> None:
+        self.workers = default_workers() if workers is None else int(workers)
+        if self.workers < 1:
+            raise ExperimentError(f"workers must be >= 1, got {self.workers}")
+        self._start_method = start_method
+        self._pool = None
+
+    # ------------------------------------------------------------------ pool
+    def _get_pool(self):
+        if self._pool is None:
+            mp_ctx = multiprocessing.get_context(self._start_method)
+            self._pool = mp_ctx.Pool(processes=self.workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter shutdown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------- run
+    def plan(self, exp: Experiment, params: dict) -> list[tuple[int, int]] | None:
+        """Shard windows for one experiment, or ``None`` when it must run
+        serially (not shardable, one worker, or a degenerate run count)."""
+        if not exp.shardable_axes or self.workers <= 1:
+            return None
+        axis = exp.shardable_axes[0]
+        total = int(params[axis.param])
+        shards = plan_shards(total, self.workers, min_per_shard=axis.min_per_shard)
+        return shards if len(shards) > 1 else None
+
+    def run(
+        self,
+        experiment_id: str,
+        *,
+        scale: str = "default",
+        seed: int = 0,
+        **overrides,
+    ) -> ExperimentResult:
+        """Run one experiment, sharded when possible.
+
+        The returned result is bit-identical (``rows``/``extra``/``notes``)
+        to ``get_experiment(experiment_id).run(scale=..., ctx=
+        RunContext(seed))`` — sharding changes wall-clock, never bits.
+        ``result.meta["workers"]``/``["shards"]`` record how it ran.
+        """
+        exp = get_experiment(experiment_id)
+        params = exp.resolve_params(scale, overrides)
+        shards = self.plan(exp, params)
+        if shards is None:
+            result = exp.run(scale=scale, ctx=RunContext(seed=seed), **overrides)
+            result.meta.update(workers=1, shards=1)
+            return result
+        start = time.perf_counter()
+        tasks = [
+            (experiment_id, scale, seed, dict(overrides), lo, hi)
+            for lo, hi in shards
+        ]
+        parts = self._get_pool().map(_shard_task, tasks)
+        payload = exp.merge_shards(params, parts)
+        rows, notes, extra = exp.finalize(RunContext(seed=seed), params, payload)
+        elapsed = time.perf_counter() - start
+        return ExperimentResult(
+            experiment_id=exp.experiment_id,
+            title=exp.title,
+            scale=scale,
+            params=params,
+            rows=rows,
+            notes=notes,
+            elapsed_s=elapsed,
+            extra=extra,
+            seed=seed,
+            meta={"workers": self.workers, "shards": len(shards)},
+        )

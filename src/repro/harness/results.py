@@ -1,31 +1,44 @@
-"""Result persistence (JSON archives of experiment runs)."""
+"""Result persistence: JSON archives and a content-addressed result cache.
+
+Archives (:func:`save_result` / :func:`load_result`) are plain JSON
+snapshots of one :class:`~repro.experiments.base.ExperimentResult`; the
+filename carries the experiment id, scale **and seed**, so archiving the
+same experiment under several seeds never silently overwrites an earlier
+run.
+
+The cache (:class:`ResultCache`) is content-addressed: the key is the
+SHA-256 of ``(experiment id, scale, seed, parameter overrides, code
+fingerprint)``, where the code fingerprint hashes every ``*.py`` file of
+the installed ``repro`` package (:func:`code_fingerprint`).  Experiments
+are pure functions of that tuple — results are replayable from the master
+seed — so a cache hit is bit-exactly the result a recompute would
+produce, and any source change invalidates every key at once.  Corrupted
+or mismatched entries are treated as misses (with a warning), never as
+errors.
+"""
 
 from __future__ import annotations
 
+import hashlib
 import json
+import time
+import warnings
+from datetime import datetime, timezone
 from pathlib import Path
 
 from ..errors import ExperimentError
 from ..experiments.base import ExperimentResult
 
-__all__ = ["save_result", "load_result"]
+__all__ = [
+    "save_result",
+    "load_result",
+    "code_fingerprint",
+    "cache_key",
+    "ResultCache",
+]
 
 
-def save_result(result: ExperimentResult, directory: str | Path) -> Path:
-    """Write ``<id>_<scale>.json`` into ``directory``; returns the path."""
-    d = Path(directory)
-    d.mkdir(parents=True, exist_ok=True)
-    path = d / f"{result.experiment_id}_{result.scale}.json"
-    path.write_text(json.dumps(result.as_dict(), indent=2, default=str))
-    return path
-
-
-def load_result(path: str | Path) -> ExperimentResult:
-    """Load a previously saved result."""
-    p = Path(path)
-    if not p.exists():
-        raise ExperimentError(f"no result file at {p}")
-    data = json.loads(p.read_text())
+def _result_from_dict(data: dict, origin) -> ExperimentResult:
     try:
         return ExperimentResult(
             experiment_id=data["experiment_id"],
@@ -36,6 +49,173 @@ def load_result(path: str | Path) -> ExperimentResult:
             notes=data.get("notes", ""),
             elapsed_s=data.get("elapsed_s", 0.0),
             extra=data.get("extra", {}),
+            seed=data.get("seed"),
+            meta=data.get("meta", {}),
         )
     except KeyError as exc:
-        raise ExperimentError(f"malformed result file {p}: missing {exc}") from exc
+        raise ExperimentError(f"malformed result file {origin}: missing {exc}") from exc
+
+
+def save_result(result: ExperimentResult, directory: str | Path) -> Path:
+    """Archive ``result`` as JSON in ``directory``; returns the path.
+
+    The filename is ``<id>_<scale>_seed<seed>.json`` (``<id>_<scale>.json``
+    for legacy results that carry no seed), so archives of different seeds
+    coexist instead of silently overwriting each other.
+    """
+    d = Path(directory)
+    d.mkdir(parents=True, exist_ok=True)
+    stem = f"{result.experiment_id}_{result.scale}"
+    if result.seed is not None:
+        stem += f"_seed{result.seed}"
+    path = d / f"{stem}.json"
+    path.write_text(json.dumps(result.as_dict(), indent=2, default=str))
+    return path
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    """Load a previously saved result (round-trips seed/meta fields)."""
+    p = Path(path)
+    if not p.exists():
+        raise ExperimentError(f"no result file at {p}")
+    data = json.loads(p.read_text())
+    return _result_from_dict(data, p)
+
+
+# --------------------------------------------------------------------- cache
+
+_FINGERPRINT_CACHE: str | None = None
+
+
+def code_fingerprint() -> str:
+    """SHA-256 over every ``*.py`` source file of the ``repro`` package.
+
+    The staleness guard of the result cache: any source edit — down to a
+    docstring — changes the fingerprint and therefore every cache key, so
+    the cache can never serve results computed by different code.  The
+    value is computed once per process (source files do not change under
+    a running experiment).
+    """
+    global _FINGERPRINT_CACHE
+    if _FINGERPRINT_CACHE is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        h = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            h.update(path.relative_to(root).as_posix().encode())
+            h.update(b"\0")
+            h.update(path.read_bytes())
+            h.update(b"\0")
+        _FINGERPRINT_CACHE = h.hexdigest()
+    return _FINGERPRINT_CACHE
+
+
+def cache_key(
+    experiment_id: str,
+    scale: str,
+    seed: int,
+    overrides: dict | None = None,
+    *,
+    fingerprint: str | None = None,
+) -> str:
+    """Content address of one experiment invocation."""
+    doc = {
+        "experiment_id": experiment_id,
+        "scale": scale,
+        "seed": int(seed),
+        "overrides": overrides or {},
+        "code_fingerprint": fingerprint or code_fingerprint(),
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of experiment results under one directory.
+
+    Entries are ``<key>.json`` documents holding the result plus a
+    ``cache`` metadata block (key, seed, fingerprint, creation time).
+    Lookups verify the stored key; corrupted, truncated or mismatched
+    entries degrade to a miss with a :class:`UserWarning` so a damaged
+    cache can never poison results — the caller simply recomputes.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self._gc_done = False
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def lookup(self, key: str) -> ExperimentResult | None:
+        """Return the cached result for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            data = json.loads(path.read_text())
+            if data["cache"]["key"] != key:
+                raise ValueError("cache key mismatch")
+            result = _result_from_dict(data["result"], path)
+        except (ValueError, KeyError, TypeError, OSError, ExperimentError) as exc:
+            warnings.warn(
+                f"corrupted result-cache entry {path} ({exc}); recomputing",
+                UserWarning,
+                stacklevel=2,
+            )
+            return None
+        try:
+            path.touch()  # refresh mtime: hits keep an entry alive past the GC
+        except OSError:  # pragma: no cover - read-only cache
+            pass
+        result.meta = dict(result.meta, cache_key=key)
+        return result
+
+    #: Entries untouched for this long are garbage-collected on store.
+    max_age_days: float = 30.0
+
+    def _gc_old_entries(self) -> None:
+        """Age-bound the cache directory (runs once per instance).
+
+        Keys embed the code fingerprint, so entries of edited code are
+        unreachable until that exact source state returns — but it *can*
+        return (branch switches, reverts), so staleness is judged by age,
+        not fingerprint: key-shaped entries not stored for
+        ``max_age_days`` are dropped.  Lookups refresh an entry's mtime,
+        keeping actively used results alive.  mtime-only (no JSON parse),
+        and at most one directory scan per :class:`ResultCache` instance,
+        so ``run-all`` pays it once.
+        """
+        if self._gc_done:
+            return
+        self._gc_done = True
+        cutoff = time.time() - self.max_age_days * 86400.0
+        for path in self.directory.glob("*.json"):
+            if len(path.stem) != 64 or any(c not in "0123456789abcdef" for c in path.stem):
+                continue
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+            except OSError:  # pragma: no cover - concurrent gc
+                pass
+
+    def store(self, key: str, result: ExperimentResult) -> Path:
+        """Write ``result`` under ``key``; age-GCs the directory once per
+        instance (:meth:`_gc_old_entries`); returns the entry path."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._gc_old_entries()
+        entry = {
+            "cache": {
+                "key": key,
+                "experiment_id": result.experiment_id,
+                "scale": result.scale,
+                "seed": result.seed,
+                "code_fingerprint": code_fingerprint(),
+                "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+            },
+            "result": result.as_dict(),
+        }
+        path = self.path_for(key)
+        path.write_text(json.dumps(entry, indent=2, default=str))
+        return path

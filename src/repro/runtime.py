@@ -32,6 +32,19 @@ kinds of streams:
 
 A module-level default context is used by code that does not thread an
 explicit context; :func:`seed_all` resets it.
+
+Sharding (the run-offset ladder)
+--------------------------------
+Scheduler streams are a *pure function* of ``(seed, run_index)`` — the
+run counter only selects the spawn key, it carries no hidden state.  That
+makes run partitions order-independent: a worker process that constructs
+``RunContext(seed, run_offset=off)`` and draws ``r`` scheduler streams
+consumes exactly the streams runs ``[off, off + r)`` of a single-process
+context would, bit for bit.  This is the contract the sharded experiment
+executor (:mod:`repro.harness.parallel`) is built on; :meth:`RunContext.
+seek_runs` repositions the ladder mid-experiment for layouts where a
+shard's draws are not one contiguous block (e.g. a sweep that consumes
+``R`` streams per grid cell).
 """
 
 from __future__ import annotations
@@ -68,6 +81,12 @@ class RunContext:
         Master seed.  Two contexts with the same seed produce bitwise
         identical experiment results (including the "non-deterministic"
         kernels, whose scheduling is sampled from this context).
+    run_offset:
+        Starting position of the scheduler-stream ladder.  A context with
+        ``run_offset=k`` hands out exactly the streams a ``run_offset=0``
+        context hands out from its ``k``-th :meth:`scheduler` call onward
+        — the shard-derivation contract of the parallel executor.  Data
+        and init streams are unaffected (they are run-stable by design).
 
     Examples
     --------
@@ -80,6 +99,7 @@ class RunContext:
     """
 
     seed: int = 0
+    run_offset: int = 0
     _run_counter: int = field(default=0, init=False, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, init=False, repr=False)
 
@@ -87,6 +107,14 @@ class RunContext:
         if not isinstance(self.seed, (int, np.integer)):
             raise ConfigurationError(f"seed must be an int, got {type(self.seed).__name__}")
         self.seed = int(self.seed)
+        if not isinstance(self.run_offset, (int, np.integer)):
+            raise ConfigurationError(
+                f"run_offset must be an int, got {type(self.run_offset).__name__}"
+            )
+        if self.run_offset < 0:
+            raise ConfigurationError(f"run_offset must be >= 0, got {self.run_offset}")
+        self.run_offset = int(self.run_offset)
+        self._run_counter = self.run_offset
 
     # ------------------------------------------------------------------ data
     def data(self, stream: int = 0) -> np.random.Generator:
@@ -118,9 +146,25 @@ class RunContext:
             return self._run_counter
 
     def reset_runs(self) -> None:
-        """Rewind the run counter so scheduling replays from run 0."""
+        """Rewind the run counter so scheduling replays from ``run_offset``."""
         with self._lock:
-            self._run_counter = 0
+            self._run_counter = self.run_offset
+
+    def seek_runs(self, run: int) -> None:
+        """Position the ladder so the next :meth:`scheduler` call is ``run``.
+
+        Streams are pure functions of ``(seed, run_index)``, so seeking is
+        exact: after ``seek_runs(k)`` the context hands out stream ``k``,
+        then ``k + 1``, ... — precisely what a serial context would hand
+        out from its ``k``-th draw onward.  The sharded executor's
+        experiment shards use this to reproduce a serial experiment's
+        stream layout when their run window is not one contiguous block
+        (e.g. one window per sweep cell).
+        """
+        if not isinstance(run, (int, np.integer)) or run < 0:
+            raise ConfigurationError(f"run must be a non-negative int, got {run!r}")
+        with self._lock:
+            self._run_counter = int(run)
 
     # ------------------------------------------------------------------ init
     def init(self, stream: int = 0) -> np.random.Generator:

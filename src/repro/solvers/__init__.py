@@ -13,6 +13,7 @@ from .cg import (
     CGResult,
     conjugate_gradient,
     conjugate_gradient_runs,
+    divergence_from_trajectories,
     iterate_divergence,
     spd_test_matrix,
 )
@@ -21,6 +22,7 @@ __all__ = [
     "CGResult",
     "conjugate_gradient",
     "conjugate_gradient_runs",
+    "divergence_from_trajectories",
     "iterate_divergence",
     "spd_test_matrix",
 ]

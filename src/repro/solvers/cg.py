@@ -43,6 +43,7 @@ __all__ = [
     "conjugate_gradient_runs",
     "spd_test_matrix",
     "iterate_divergence",
+    "divergence_from_trajectories",
 ]
 
 
@@ -338,7 +339,21 @@ def iterate_divergence(
         A, b, n_runs, reduction=reduction, tol=0.0, max_iter=n_iter,
         track_iterates=True, ctx=ctx,
     )
-    trajectories = [res.iterates for res in results]
+    return divergence_from_trajectories([res.iterates for res in results])
+
+
+def divergence_from_trajectories(trajectories: list[list[np.ndarray]]) -> np.ndarray:
+    """Per-iteration divergence of pre-computed iterate trajectories.
+
+    The post-processing half of :func:`iterate_divergence`, shared with
+    the sharded cgdiv experiment (whose trajectories arrive merged from
+    worker shards): ``out[k] = max_j |x_k^j - x_k^0| / |x_k^0|`` over the
+    common depth of all trajectories.
+    """
+    if len(trajectories) < 2:
+        raise ConfigurationError(
+            f"need at least 2 trajectories, got {len(trajectories)}"
+        )
     depth = min(len(t) for t in trajectories)
     out = np.zeros(depth)
     base = trajectories[0]

@@ -63,3 +63,10 @@ def _reset_determinism():
     repro.use_deterministic_algorithms(False)
     yield
     repro.use_deterministic_algorithms(False)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the CLI result cache at a per-test directory so tests never
+    read or write the user's ``~/.cache/repro-experiments``."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))

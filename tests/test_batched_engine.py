@@ -1112,3 +1112,123 @@ class TestSumdistArrayBatch:
             Tensor(np.ones(3, dtype=np.float32), runs=3).sum(dim=0)
         with pytest.raises(SE):
             Tensor(np.ones((4, 2), dtype=np.float32), runs=3)
+
+
+class TestRunOffsetFuzz:
+    """Randomised run_offset / shard-boundary contract.
+
+    The sharded executor's safety property, fuzzed: for random geometries,
+    contentions and shard boundaries, shard k (a context positioned at
+    ``off``) draws runs bit-identical to slice ``[off, off + r)`` of the
+    full batch's — for the scheduler batch, the raw context streams and
+    the run-batched tensor state alike.
+    """
+
+    @pytest.mark.parametrize("trial", range(10))
+    def test_scheduler_batch_shard_windows(self, trial):
+        fz = np.random.default_rng(4000 + trial)
+        nb = int(fz.integers(1, 120))
+        tpb = int(fz.choice([32, 48, 64]))
+        contention = float(fz.choice([0.0, 0.37, 1.0]))
+        R = int(fz.integers(2, 24))
+        launch = make_launch(nb, tpb)
+        full = WaveSchedulerBatch(launch, RunContext(77)).block_completion_orders(
+            R, contention=contention
+        )
+        cuts = sorted(
+            set(fz.integers(1, R, size=int(fz.integers(0, 4))).tolist()) | {0, R}
+        )
+        shards = [
+            WaveSchedulerBatch(
+                launch, RunContext(77), run_offset=lo
+            ).block_completion_orders(hi - lo, contention=contention)
+            for lo, hi in zip(cuts, cuts[1:])
+        ]
+        np.testing.assert_array_equal(np.concatenate(shards, axis=0), full)
+
+    @pytest.mark.parametrize("trial", range(6))
+    def test_thread_order_shard_windows(self, trial):
+        fz = np.random.default_rng(5000 + trial)
+        nb = int(fz.integers(1, 40))
+        tpb = int(fz.choice([32, 33, 64]))
+        n = int(fz.integers(1, nb * tpb + 1))
+        R = int(fz.integers(2, 12))
+        lo = int(fz.integers(0, R))
+        hi = int(fz.integers(lo + 1, R + 1))
+        launch = make_launch(nb, tpb)
+        full = WaveSchedulerBatch(launch, RunContext(13)).thread_retirement_orders(
+            R, n, contention=1.0
+        )
+        ctx = RunContext(13, run_offset=lo)
+        shard = WaveSchedulerBatch(launch, ctx).thread_retirement_orders(
+            hi - lo, n, contention=1.0
+        )
+        np.testing.assert_array_equal(shard, full[lo:hi])
+
+    @pytest.mark.parametrize("offset", (0, 1, 5, 64, 1000))
+    def test_context_offset_equals_seek_equals_slice(self, offset):
+        # Three spellings of "start the ladder at `offset`" hand out
+        # bitwise-identical stream sequences.
+        full = RunContext(3)
+        for _ in range(offset):
+            full.scheduler()
+        by_offset = RunContext(3, run_offset=offset)
+        by_seek = RunContext(3)
+        by_seek.seek_runs(offset)
+        draws = [c.scheduler().random(7) for c in (full, by_offset, by_seek)]
+        np.testing.assert_array_equal(draws[0], draws[1])
+        np.testing.assert_array_equal(draws[0], draws[2])
+
+    def test_reset_runs_rewinds_to_offset(self):
+        ctx = RunContext(11, run_offset=4)
+        first = ctx.scheduler().random(5)
+        ctx.scheduler()
+        ctx.reset_runs()
+        np.testing.assert_array_equal(ctx.scheduler().random(5), first)
+        assert ctx.peek_run_counter() == 5
+
+    def test_run_offset_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            RunContext(0, run_offset=-1)
+        with pytest.raises(ConfigurationError):
+            RunContext(0).seek_runs(-3)
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_runbatch_shard_streams_match_full_slice(self, trial):
+        from repro.tensor import RunBatch
+
+        fz = np.random.default_rng(6000 + trial)
+        R = int(fz.integers(2, 10))
+        lo = int(fz.integers(0, R))
+        hi = int(fz.integers(lo + 1, R + 1))
+        full = RunBatch(R, ctx=RunContext(21))
+        shard = RunBatch(hi - lo, ctx=RunContext(21, run_offset=lo))
+        for r in range(hi - lo):
+            np.testing.assert_array_equal(
+                shard.rngs[r].random(9), full.rngs[lo + r].random(9)
+            )
+
+    @pytest.mark.parametrize("trial", range(5))
+    def test_segment_plan_draw_windows(self, trial):
+        from repro.ops.nondet import OP_CONTENTION
+
+        fz = np.random.default_rng(7000 + trial)
+        n = int(fz.integers(8, 200))
+        n_targets = int(fz.integers(1, max(2, n // 2)))
+        idx = fz.integers(0, n_targets, size=n)
+        plan = SegmentPlan(idx, n_targets)
+        model = OP_CONTENTION["index_add"]
+        R = int(fz.integers(2, 12))
+        lo = int(fz.integers(0, R))
+        hi = int(fz.integers(lo + 1, R + 1))
+        full = plan.sample_run_draws(R, model, RunContext(31))
+        shard = plan.sample_run_draws(hi - lo, model, RunContext(31, run_offset=lo))
+        for r, (raced, keys) in enumerate(shard):
+            f_raced, f_keys = full[lo + r]
+            np.testing.assert_array_equal(raced, f_raced)
+            if keys is None:
+                assert f_keys is None
+            else:
+                np.testing.assert_array_equal(keys, f_keys)

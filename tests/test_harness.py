@@ -1,4 +1,4 @@
-"""Tests for the sweep/timing/results/CLI harness."""
+"""Tests for the sweep/timing/results/cache/CLI harness."""
 
 import json
 
@@ -7,7 +7,17 @@ import pytest
 
 from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments import get_experiment
-from repro.harness import Sweep, TimingStats, grid, load_result, save_result, time_callable
+from repro.harness import (
+    ResultCache,
+    Sweep,
+    TimingStats,
+    cache_key,
+    code_fingerprint,
+    grid,
+    load_result,
+    save_result,
+    time_callable,
+)
 from repro.harness.cli import build_parser, main
 from repro.runtime import RunContext
 
@@ -84,6 +94,8 @@ class TestResults:
         loaded = load_result(path)
         assert loaded.experiment_id == "table2"
         assert loaded.rows == res.rows
+        assert loaded.seed == res.seed == 0
+        assert loaded.meta == res.meta
 
     def test_missing_file_raises(self, tmp_path):
         with pytest.raises(ExperimentError):
@@ -94,6 +106,128 @@ class TestResults:
         p.write_text(json.dumps({"rows": []}))
         with pytest.raises(ExperimentError):
             load_result(p)
+
+    def test_distinct_seeds_do_not_overwrite(self, tmp_path):
+        # Regression: archives used to be keyed by (id, scale) only, so a
+        # second seed's result silently clobbered the first.
+        exp = get_experiment("table2")
+        p1 = save_result(exp.run(ctx=RunContext(seed=1)), tmp_path)
+        p2 = save_result(exp.run(ctx=RunContext(seed=2)), tmp_path)
+        assert p1 != p2
+        assert p1.exists() and p2.exists()
+        assert "seed1" in p1.name and "seed2" in p2.name
+        assert load_result(p1).seed == 1
+        assert load_result(p2).seed == 2
+
+    def test_legacy_result_without_seed_loads(self, tmp_path):
+        res = get_experiment("table2").run()
+        doc = res.as_dict()
+        del doc["seed"], doc["meta"]
+        p = tmp_path / "legacy.json"
+        p.write_text(json.dumps(doc, default=str))
+        loaded = load_result(p)
+        assert loaded.seed is None
+        assert loaded.meta == {}
+
+
+class TestResultCache:
+    def _result(self, seed=0, **overrides):
+        return get_experiment("table2").run(ctx=RunContext(seed=seed), **overrides)
+
+    def test_hit_round_trips_result_and_metadata(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        res = self._result()
+        key = cache_key("table2", "default", 0)
+        cache.store(key, res)
+        hit = cache.lookup(key)
+        assert hit is not None
+        assert hit.rows == res.rows
+        assert hit.seed == 0
+        assert hit.meta["cache_key"] == key
+        entry = json.loads(cache.path_for(key).read_text())
+        assert entry["cache"]["experiment_id"] == "table2"
+        assert entry["cache"]["code_fingerprint"] == code_fingerprint()
+
+    def test_miss_on_seed_scale_and_fingerprint(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("table2", "default", 0)
+        cache.store(key, self._result())
+        assert cache.lookup(cache_key("table2", "default", 1)) is None
+        assert cache.lookup(cache_key("table2", "paper", 0)) is None
+        assert cache.lookup(cache_key("table1", "default", 0)) is None
+        # A code edit changes the fingerprint and misses every old key.
+        other = cache_key("table2", "default", 0, fingerprint="f" * 64)
+        assert other != key
+        assert cache.lookup(other) is None
+
+    def test_overrides_change_the_key(self):
+        base = cache_key("fig4", "default", 0)
+        assert cache_key("fig4", "default", 0, {"n_runs": 3}) != base
+
+    def test_corrupted_entry_warns_and_misses(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("table2", "default", 0)
+        cache.store(key, self._result())
+        cache.path_for(key).write_text("{not json")
+        with pytest.warns(UserWarning, match="corrupted result-cache entry"):
+            assert cache.lookup(key) is None
+
+    def test_key_mismatch_inside_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("table2", "default", 0)
+        path = cache.store(key, self._result())
+        doc = json.loads(path.read_text())
+        doc["cache"]["key"] = "0" * 64
+        path.write_text(json.dumps(doc))
+        with pytest.warns(UserWarning):
+            assert cache.lookup(key) is None
+
+    def test_fingerprint_is_stable_within_a_process(self):
+        assert code_fingerprint() == code_fingerprint()
+        assert len(code_fingerprint()) == 64
+
+    def test_store_garbage_collects_old_entries(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        res = self._result()
+        old = 2 * cache.max_age_days * 86400.0
+        # An entry last used far past the age bound (e.g. an unreachable
+        # key from a long-gone code revision) is dropped on store ...
+        stale_key = cache_key("table2", "default", 9, fingerprint="e" * 64)
+        stale_path = cache.store(stale_key, res)
+        os.utime(stale_path, times=(stale_path.stat().st_atime,
+                                    stale_path.stat().st_mtime - old))
+        # ... and so is an old key-shaped garbage file; but a recent entry
+        # of a *different* fingerprint survives (branch switches may bring
+        # its code state — and therefore its key — back), as does any
+        # non-key file.
+        junk = tmp_path / ("f" * 64 + ".json")
+        junk.write_text("{broken")
+        os.utime(junk, times=(junk.stat().st_atime, junk.stat().st_mtime - old))
+        recent_other = cache.store(cache_key("table2", "default", 8, fingerprint="d" * 64), res)
+        keep = tmp_path / "notes.json"
+        keep.write_text("{}")
+        os.utime(keep, times=(keep.stat().st_atime, keep.stat().st_mtime - old))
+        fresh_cache = ResultCache(tmp_path)  # GC runs once per instance
+        live_key = cache_key("table2", "default", 0)
+        fresh_cache.store(live_key, res)
+        assert not stale_path.exists()
+        assert not junk.exists()
+        assert recent_other.exists()
+        assert keep.exists()
+        assert fresh_cache.lookup(live_key) is not None
+
+    def test_lookup_refreshes_entry_mtime(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        key = cache_key("table2", "default", 0)
+        path = cache.store(key, self._result())
+        os.utime(path, times=(path.stat().st_atime, path.stat().st_mtime - 3600.0))
+        before = path.stat().st_mtime
+        assert cache.lookup(key) is not None
+        assert path.stat().st_mtime > before
 
 
 class TestCli:
@@ -113,11 +247,33 @@ class TestCli:
 
     def test_run_with_output_dir(self, tmp_path, capsys):
         assert main(["run", "table2", "--out", str(tmp_path)]) == 0
-        assert (tmp_path / "table2_default.json").exists()
+        assert (tmp_path / "table2_default_seed0.json").exists()
 
     def test_unknown_experiment_is_error(self, capsys):
         assert main(["run", "tableX"]) == 1
         assert "error" in capsys.readouterr().err
+
+    def test_run_uses_cache_on_second_invocation(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["run", "table2", "--json", "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert "[cache hit]" in captured.err
+        assert json.loads(captured.out)["rows"] == first["rows"]
+
+    def test_no_cache_forces_recompute(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["run", "table2", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["run", "table2", "--cache-dir", cache_dir, "--no-cache"]) == 0
+        assert "[cache hit]" not in capsys.readouterr().err
+
+    def test_workers_flag_parses(self):
+        p = build_parser()
+        args = p.parse_args(["run-all", "--workers", "4", "--no-cache"])
+        assert args.workers == 4 and args.no_cache
 
     def test_seed_changes_stochastic_results(self, capsys):
         main(["run", "table1", "--json", "--seed", "1"])
