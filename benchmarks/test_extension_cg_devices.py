@@ -17,9 +17,14 @@ def test_cgdiv_regeneration(benchmark, ctx, scale):
 
 
 def test_figs1_regeneration(benchmark, ctx, scale):
+    # The device-axis bench proper lives in test_figs_devices.py; this one
+    # keeps the historical full-default regeneration (now six devices
+    # including the deterministic LPU row).
     kwargs = {"scale": scale, "ctx": ctx}
     if scale == "default":
         kwargs.update(n_arrays=2, n_runs=200)
     result = run_once(benchmark, get_experiment("figS1").run, **kwargs)
-    assert len(result.rows) == 3
-    assert sum(r["frac_arrays_normal_by_kl"] >= 0.5 for r in result.rows) >= 2
+    assert len(result.rows) == len(result.params["devices"])
+    fpna = [r for r in result.rows if not r["deterministic"]]
+    assert sum(r["frac_arrays_normal_by_kl"] >= 0.5 for r in fpna) >= 2
+    assert all(r["vs_std_x1e16"] == 0.0 for r in result.rows if r["deterministic"])

@@ -96,6 +96,27 @@ def main() -> None:
         print(f"result cache: hit = {hit is not None}, "
               f"rows match = {hit.rows == serial.rows}")
 
+    # -- 6. the device axis -------------------------------------------------
+    # figS1 sweeps one (device, array, run) grid through the batched
+    # engine.  Scheduler streams are anchored per (device, array) cell, so
+    # sweeping a subset of devices reproduces exactly the rows the full
+    # sweep produces for those devices — and the statically scheduled LPU
+    # model shows zero run-to-run variability.  CLI equivalent:
+    #
+    #   repro-experiments run figS1 --devices gh200,mi300a,lpu
+    #
+    figs1 = get_experiment("figS1").run(
+        ctx=repro.RunContext(seed=0),
+        devices=("gh200", "mi300a", "lpu"),
+        n_elements=20_000, n_arrays=2, n_runs=60,
+    )
+    print("\nSPA Vs across architectures (anchored device planes):")
+    for row in figs1.rows:
+        tag = "deterministic" if row["deterministic"] else "FPNA"
+        print(f"  {row['device']:>7s} [{tag:>13s}]  "
+              f"Vs std = {row['vs_std_x1e16']:.2f}e-16  "
+              f"distinct sums/array = {row['distinct_sums_per_array']:.0f}")
+
 
 if __name__ == "__main__":
     main()

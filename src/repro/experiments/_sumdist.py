@@ -22,13 +22,25 @@ values mode, processed in run chunks so memory stays bounded at
 ``tests/test_experiment_helpers.py`` and ``tests/test_batched_engine.py``
 pin this.  The single-array :func:`spa_vs_samples` / :func:`ao_vs_samples`
 are the ``A = 1`` special case of the same pass.
+
+:func:`spa_vs_samples_devices` adds the **device axis** (figS1): one
+``(device, array, run)`` grid per call, drawing from anchored device-plane
+streams (:meth:`repro.runtime.RunContext.device_stream`) instead of the
+shared sequential ladder, pooling same-geometry partials/baselines across
+devices and pooling a deterministic device's single schedule across the
+whole run axis.  ``tests/test_device_axis.py`` pins its cell contract.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..fp.summation import block_partials_runs, iter_run_chunks, tree_fold
+from ..fp.summation import (
+    DEFAULT_RUN_CHUNK_ELEMENTS,
+    block_partials_runs,
+    iter_run_chunks,
+    tree_fold,
+)
 from ..gpusim.atomics import batched_atomic_fold
 from ..gpusim.device import get_device
 from ..gpusim.kernel import LaunchConfig
@@ -40,6 +52,7 @@ __all__ = [
     "sample_array",
     "spa_vs_samples",
     "spa_vs_samples_arrays",
+    "spa_vs_samples_devices",
     "ao_vs_samples",
     "ao_vs_samples_arrays",
 ]
@@ -107,6 +120,128 @@ def spa_vs_samples_arrays(
         arr_of_run = np.arange(lo, hi) // max(n_runs, 1)
         sums[lo:hi] = batched_atomic_fold(partials[arr_of_run], orders)
     return scalar_variability_many(sums.reshape(n_arrays, n_runs), s_d[:, None])
+
+
+def spa_vs_samples_devices(
+    xs: np.ndarray,
+    n_runs: int,
+    ctx: RunContext,
+    *,
+    devices,
+    threads_per_block: int = 64,
+    run_lo: int = 0,
+    run_hi: int | None = None,
+    anchor: int = 0,
+) -> dict[str, np.ndarray]:
+    """``Vs`` of SPA sums of every row of ``xs`` on every device at once.
+
+    The device-axis batched sweep (figS1): one ``(device, array, run)``
+    grid folded through the run-axis engine with **anchored device-plane
+    streams** — every ``(device, array)`` cell draws its whole run axis
+    from its own :meth:`~repro.runtime.RunContext.device_stream` under
+    the cell contract catalogued in :mod:`repro.gpusim.scheduler` (raw
+    rotations for all runs up front, then prefix-stable float32 block
+    rows in run order).  Because no cell shares a stream, the returned
+    rows of any device are bit-identical no matter which other devices
+    are swept, and ``run_lo``/``run_hi`` select any window of the run
+    axis bit-identically to slicing the full sweep — the shard
+    derivation of the device experiments.
+
+    Same-geometry work is pooled across devices: block partials and the
+    deterministic SPTR baselines depend only on the grid size, so all
+    devices sharing one (clamped) launch geometry compute them once.  A
+    ``deterministic`` device draws nothing — its single schedule is
+    evaluated once and pooled across the run axis (the zero-variability
+    LPU row).
+
+    Returns
+    -------
+    dict
+        ``{device_name: (A, run_hi - run_lo) float64 Vs}`` in the order
+        of ``devices``.
+    """
+    xs = np.asarray(xs)
+    n_arrays, n = xs.shape
+    if run_hi is None:
+        run_hi = n_runs
+    if not 0 <= run_lo <= run_hi <= n_runs:
+        raise ValueError(
+            f"run window [{run_lo}, {run_hi}) outside [0, {n_runs})"
+        )
+    window = run_hi - run_lo
+    # Pool the deterministic per-array stage by launch geometry: partials
+    # and SPTR baselines are pure functions of (xs, n_blocks).
+    partial_pool: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    def _pooled(nb: int) -> tuple[np.ndarray, np.ndarray]:
+        if nb not in partial_pool:
+            partials = block_partials_runs(xs, nb)
+            s_d = np.array([tree_fold(partials[a]) for a in range(n_arrays)])
+            partial_pool[nb] = (partials, s_d)
+        return partial_pool[nb]
+
+    out: dict[str, np.ndarray] = {}
+    for device in devices:
+        dev = get_device(device)
+        tpb = min(threads_per_block, dev.max_threads_per_block)
+        launch = _spa_launch(dev, n, tpb, None)
+        nb = launch.n_blocks
+        partials, s_d = _pooled(nb)
+        batch = WaveSchedulerBatch(launch, None)
+        need_u = batch.needs_block_draw(0.0)
+        rotate = batch.needs_rotation
+        if not rotate and not need_u:
+            # Statically scheduled hardware: the one schedule every run
+            # produces, computed once and pooled over (arrays, runs).
+            order = batch.block_completion_orders_from_draws(
+                np.zeros(1, dtype=np.int64), None, 0.0
+            )
+            sums = batched_atomic_fold(partials, np.broadcast_to(order, (n_arrays, nb)))
+            out[device] = np.ascontiguousarray(
+                np.broadcast_to(
+                    scalar_variability_many(sums, s_d)[:, None], (n_arrays, window)
+                )
+            )
+            continue
+        rngs = [
+            ctx.device_stream(device, a, anchor=anchor) for a in range(n_arrays)
+        ]
+        rots = np.zeros((n_arrays, n_runs), dtype=np.int64)
+        if rotate:
+            for a, rng in enumerate(rngs):
+                rots[a] = rng.integers(dev.num_gpcs, size=n_runs)
+        if need_u:
+            # Advance each cell stream past rows [0, run_lo) — row draws
+            # are prefix-stable, so chunked discards reproduce the full
+            # matrix's bits (the cell contract).
+            scratch_rows = None
+            for a, rng in enumerate(rngs):
+                skip = run_lo
+                while skip:
+                    rows = min(skip, max(1, DEFAULT_RUN_CHUNK_ELEMENTS // nb))
+                    if scratch_rows is None or len(scratch_rows) < rows:
+                        scratch_rows = np.empty((rows, nb), dtype=np.float32)
+                    rng.random(out=scratch_rows[:rows], dtype=np.float32)
+                    skip -= rows
+        sums = np.empty((n_arrays, window), dtype=np.float64)
+        for lo, hi in iter_run_chunks(window, n_arrays * nb):
+            rows = hi - lo
+            if need_u:
+                u = np.empty((n_arrays, rows, nb), dtype=np.float32)
+                for a, rng in enumerate(rngs):
+                    rng.random(out=u[a], dtype=np.float32)
+                u_flat = u.reshape(n_arrays * rows, nb)
+            else:
+                u_flat = None
+            orders = batch.block_completion_orders_from_draws(
+                rots[:, run_lo + lo : run_lo + hi].reshape(-1), u_flat, 0.0
+            ).reshape(n_arrays, rows, nb)
+            for a in range(n_arrays):
+                # Shared-values fold per array (cheaper than materialising
+                # per-run value rows for the whole chunk).
+                sums[a, lo:hi] = batched_atomic_fold(partials[a], orders[a])
+        out[device] = scalar_variability_many(sums, s_d[:, None])
+    return out
 
 
 def spa_vs_samples(

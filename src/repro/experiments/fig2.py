@@ -14,17 +14,28 @@ import numpy as np
 
 from ..metrics.distribution import estimate_pdf, normality_report
 from ..runtime import RunContext
-from .base import Experiment, register
+from .base import ShardAxis, ShardableExperiment, register
+from .sharding import RunConcat
 from ._sumdist import ao_vs_samples_arrays, sample_array, spa_vs_samples_arrays
 
 __all__ = ["Fig2AoPdf"]
 
 
-class Fig2AoPdf(Experiment):
-    """Regenerates Fig 2 (AO Vs PDF, uniform inputs, V100 model)."""
+class Fig2AoPdf(ShardableExperiment):
+    """Regenerates Fig 2 (AO Vs PDF, uniform inputs, V100 model).
+
+    Sharding: the serial ladder interleaves per array — ``n_runs`` AO
+    streams then ``n_runs`` SPA streams — so array ``a``'s AO sub-block
+    starts at ``base + a * 2 * n_runs`` and its SPA sub-block ``n_runs``
+    later.  A shard pre-draws its run window of every sub-block
+    (``seek`` + ``scheduler``) and hands the explicit streams to the
+    batched passes, reproducing the serial ``(A, R)`` Vs matrices
+    column-window by column-window, bit for bit.
+    """
 
     experiment_id = "fig2"
     title = "Fig 2: PDF of Vs for AO sums, uniform inputs (V100)"
+    shardable_axes = (ShardAxis("n_runs"),)
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":
@@ -41,34 +52,43 @@ class Fig2AoPdf(Experiment):
             "device": "v100", "threads_per_block": 64, "bins": 21,
         }
 
-    def _run(self, ctx: RunContext, params: dict):
+    def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
         data_rng = ctx.data(stream=7)
-        n_arrays, n_runs = params["n_arrays"], params["n_runs"]
-        # Draw the inputs and the per-run scheduler streams in the exact
-        # order the per-array loop consumed them (per array: the AO input,
-        # the SPA input, then n_runs AO streams and n_runs SPA streams), so
-        # the batched (arrays, runs, n) passes below reproduce its bits.
+        n_arrays, n_runs, r = params["n_arrays"], params["n_runs"], hi - lo
+        base = ctx.peek_run_counter()
+        # Draw the inputs in the exact order the per-array loop consumed
+        # them (per array: the AO input, then the SPA input), and each
+        # sub-block's [lo, hi) stream window explicitly, so the batched
+        # (arrays, runs, n) passes reproduce the serial bits.
         xs: dict[str, list] = {"AO": [], "SPA": []}
         run_rngs: dict[str, list] = {"AO": [], "SPA": []}
-        for _ in range(n_arrays):
+        for a in range(n_arrays):
             xs["AO"].append(sample_array(data_rng, params["n_elements"], "uniform"))
             xs["SPA"].append(sample_array(data_rng, params["spa_n_elements"], "uniform"))
-            run_rngs["AO"].extend(ctx.scheduler() for _ in range(n_runs))
-            run_rngs["SPA"].extend(ctx.scheduler() for _ in range(n_runs))
-        vs_mats = {
-            "AO": ao_vs_samples_arrays(
-                np.stack(xs["AO"]), n_runs, ctx,
+            ctx.seek_runs(base + a * 2 * n_runs + lo)
+            run_rngs["AO"].extend(ctx.scheduler() for _ in range(r))
+            ctx.seek_runs(base + a * 2 * n_runs + n_runs + lo)
+            run_rngs["SPA"].extend(ctx.scheduler() for _ in range(r))
+        payload = {
+            "AO": RunConcat(ao_vs_samples_arrays(
+                np.stack(xs["AO"]), r, ctx,
                 device=params["device"],
                 threads_per_block=params["threads_per_block"],
                 rngs=run_rngs["AO"],
-            ),
-            "SPA": spa_vs_samples_arrays(
-                np.stack(xs["SPA"]), n_runs, ctx,
+            ), axis=1),
+            "SPA": RunConcat(spa_vs_samples_arrays(
+                np.stack(xs["SPA"]), r, ctx,
                 device=params["device"],
                 threads_per_block=params["threads_per_block"],
                 rngs=run_rngs["SPA"],
-            ),
+            ), axis=1),
         }
+        ctx.seek_runs(base + n_arrays * 2 * n_runs)
+        return payload
+
+    def finalize(self, ctx: RunContext, params: dict, payload: dict):
+        n_arrays, n_runs = params["n_arrays"], params["n_runs"]
+        vs_mats = {name: payload[name] for name in ("AO", "SPA")}
         per_impl: dict[str, list] = {"AO": [], "SPA": []}
         reports: dict[str, list] = {"AO": [], "SPA": []}
         for a in range(n_arrays):

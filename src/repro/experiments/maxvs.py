@@ -4,6 +4,13 @@
 with ``alpha ~ 0.5`` for uniform U(0, 10) inputs and a larger exponent for
 normal N(0, 1) inputs (near-cancelling sums make the relative metric
 heavier-tailed) — "the range of the numbers also plays a role".
+
+Each ``(distribution, size)`` cell runs as one batched ``(arrays, runs)``
+pass on the run-axis engine (bit-identical to the per-array loop it
+replaced — array-major stream consumption), and the run axis shards: the
+serial ladder is one block of ``n_arrays * n_runs`` scheduler streams per
+cell in sweep order, so a shard pre-draws its run window of every array's
+sub-block (``seek`` + ``scheduler``) exactly like fig1.
 """
 
 from __future__ import annotations
@@ -12,17 +19,19 @@ import numpy as np
 
 from ..metrics.powerlaw import fit_power_law
 from ..runtime import RunContext
-from .base import Experiment, register
-from ._sumdist import sample_array, spa_vs_samples
+from .base import ShardAxis, ShardableExperiment, register
+from .sharding import RunConcat
+from ._sumdist import sample_array, spa_vs_samples_arrays
 
 __all__ = ["MaxVsPowerLaw"]
 
 
-class MaxVsPowerLaw(Experiment):
+class MaxVsPowerLaw(ShardableExperiment):
     """Fits Max|Vs|(n) = beta * n^alpha for uniform and normal inputs."""
 
     experiment_id = "maxvs"
     title = "Max |Vs| vs array size: power-law fit (paper SIII-C)"
+    shardable_axes = (ShardAxis("n_runs"),)
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":
@@ -37,25 +46,43 @@ class MaxVsPowerLaw(Experiment):
             "device": "v100", "threads_per_block": 64,
         }
 
-    def _run(self, ctx: RunContext, params: dict):
+    def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
+        n_arrays, n_runs, r = params["n_arrays"], params["n_runs"], hi - lo
+        base = ctx.peek_run_counter()
+        cells: dict = {}
+        for dist in ("uniform", "normal"):
+            data_rng = ctx.data(stream=11 + (dist == "normal"))
+            per_size = []
+            for n in params["sizes"]:
+                xs = np.stack([
+                    sample_array(data_rng, n, dist) for _ in range(n_arrays)
+                ])
+                # Serial ladder: array a of this cell owns streams
+                # [base + a*n_runs, base + (a+1)*n_runs); pre-draw each
+                # array's [lo, hi) window explicitly.
+                rngs = []
+                for a in range(n_arrays):
+                    ctx.seek_runs(base + a * n_runs + lo)
+                    rngs.extend(ctx.scheduler() for _ in range(r))
+                vs_mat = spa_vs_samples_arrays(
+                    xs, r, ctx,
+                    device=params["device"],
+                    threads_per_block=params["threads_per_block"],
+                    rngs=rngs,
+                )
+                per_size.append({"vs": RunConcat(vs_mat, axis=1)})
+                base += n_arrays * n_runs
+            cells[dist] = per_size
+        ctx.seek_runs(base)
+        return cells
+
+    def finalize(self, ctx: RunContext, params: dict, payload: dict):
         rows: list[dict] = []
         fits: dict = {}
         for dist in ("uniform", "normal"):
-            data_rng = ctx.data(stream=11 + (dist == "normal"))
             maxima = []
-            for n in params["sizes"]:
-                m = 0.0
-                for _ in range(params["n_arrays"]):
-                    x = sample_array(data_rng, n, dist)
-                    # spa_vs_samples samples all n_runs orders through the
-                    # batched run-axis engine (chunked so n = 1e6 at paper
-                    # scale stays within the memory budget).
-                    vs = spa_vs_samples(
-                        x, params["n_runs"], ctx,
-                        device=params["device"],
-                        threads_per_block=params["threads_per_block"],
-                    )
-                    m = max(m, float(np.max(np.abs(vs))))
+            for n, cell in zip(params["sizes"], payload[dist]):
+                m = float(np.max(np.abs(cell["vs"])))
                 maxima.append(m)
                 rows.append({"distribution": dist, "size": n, "max_abs_vs": m})
             fit = fit_power_law(params["sizes"], maxima)

@@ -22,7 +22,8 @@ from ..graph.datasets import cora_like
 from ..metrics.array import count_variability, unique_output_count
 from ..nn import GraphSAGE
 from ..runtime import RunContext
-from .base import Experiment, register
+from .base import ShardAxis, ShardableExperiment, register
+from .sharding import Invariant, RunConcat
 from ._gnn import (
     _GNN_INIT_STREAM,
     gnn_inference_cost_us,
@@ -34,11 +35,20 @@ from ._gnn import (
 __all__ = ["Table8GnnRuntime"]
 
 
-class Table8GnnRuntime(Experiment):
-    """Regenerates Table 8 (GraphSAGE inference runtimes)."""
+class Table8GnnRuntime(ShardableExperiment):
+    """Regenerates Table 8 (GraphSAGE inference runtimes).
+
+    Sharding: the composed cost-model rows are deterministic (computed in
+    ``finalize``); only the lockstep ND inference check consumes scheduler
+    streams — one per check run, in run order — so a shard seeks the
+    ladder to its window and evaluates that window's lockstep passes,
+    whose logits concatenate bit-exactly into the serial ``(R, N, C)``
+    stack.
+    """
 
     experiment_id = "table8"
     title = "Table 8: H100 and Groq runtime for GraphSAGE inference"
+    shardable_axes = (ShardAxis("check_runs"),)
 
     def params_for(self, scale: str) -> dict:
         return {
@@ -52,7 +62,35 @@ class Table8GnnRuntime(Experiment):
             "check_runs": 6,
         }
 
-    def _run(self, ctx: RunContext, params: dict):
+    def _check_setup(self, ctx: RunContext, params: dict):
+        """Reduced graph + shared model of the lockstep check (data/init
+        streams only — identical in every shard)."""
+        ds = cora_like(
+            num_nodes=params["check_nodes"], num_edges=2 * params["check_nodes"],
+            num_features=32, num_classes=params["n_classes"], ctx=ctx,
+        )
+        model = GraphSAGE(
+            ds.num_features, params["hidden"], ds.num_classes,
+            rng=ctx.init(stream=_GNN_INIT_STREAM),
+        )
+        return ds, model
+
+    def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
+        base = ctx.peek_run_counter()
+        ds, model = self._check_setup(ctx, params)
+        det_logits = run_inference(model, ds, deterministic=True, ctx=ctx)
+        # Serial ladder: ND check run r draws stream base + r.
+        ctx.seek_runs(base + lo)
+        nd_logits = run_inference_runs(
+            model, ds, deterministic=False, ctx=ctx, n_runs=hi - lo
+        )
+        ctx.seek_runs(base + params["check_runs"])
+        return {
+            "det_logits": Invariant(det_logits),
+            "nd_logits": RunConcat(nd_logits, axis=0),
+        }
+
+    def finalize(self, ctx: RunContext, params: dict, payload: dict):
         dims = dict(
             n_nodes=params["n_nodes"],
             n_directed_edges=params["n_directed_edges"],
@@ -74,18 +112,8 @@ class Table8GnnRuntime(Experiment):
         # Lockstep simulated inference: the ND kernels that buy the faster
         # H100 row also make the outputs run-dependent.
         n_check, n_runs = params["check_nodes"], params["check_runs"]
-        ds = cora_like(
-            num_nodes=n_check, num_edges=2 * n_check, num_features=32,
-            num_classes=params["n_classes"], ctx=ctx,
-        )
-        model = GraphSAGE(
-            ds.num_features, params["hidden"], ds.num_classes,
-            rng=ctx.init(stream=_GNN_INIT_STREAM),
-        )
-        det_logits = run_inference(model, ds, deterministic=True, ctx=ctx)
-        nd_logits = run_inference_runs(
-            model, ds, deterministic=False, ctx=ctx, n_runs=n_runs
-        )
+        det_logits = payload["det_logits"]
+        nd_logits = payload["nd_logits"]
         nd_check = {
             "n_runs": n_runs,
             "distinct_nd_outputs": unique_output_count(list(nd_logits)),

@@ -55,8 +55,11 @@ stack carries the same run axis end to end: run-batched tensors
 run's ND ``index_add`` randomness drawn from that run's own scheduler
 stream.  The draw-order contracts all these batched consumers rely on —
 the single ``integers(len(chunk_ladder))`` draw of ``cumsum``'s chunk
-ladder, the one-stream-per-solve sequence of the CG run batch, and the
-one-stream-per-training-run layout of the GNN stack — are catalogued in
+ladder, the one-stream-per-solve sequence of the CG run batch, the
+one-stream-per-training-run layout of the GNN stack, and the anchored
+per-(device, array) **device planes** of the cross-architecture sweeps
+(whole run axis drawn from one cell stream: raw rotations up front, then
+prefix-stable float32 block rows) — are catalogued in
 :mod:`repro.gpusim.scheduler`'s module docstring.
 
 Because every per-run stream is a pure function of ``(seed, run_index)``,

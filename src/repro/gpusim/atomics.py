@@ -88,20 +88,27 @@ def batched_atomic_fold(
         out.fill(0.0)
         return out
     # The accumulate must run in the values' own dtype (bit-exactness with
-    # the scalar fold); the buffer only elides R cumsum allocations.
-    buf = np.empty(n, dtype=arr.dtype)
-    if per_run:
-        # Per-run values: gather row-by-row (cheaper than building
-        # take_along_axis index grids for the small-R hot path).
+    # the scalar fold).  Rows are independent, so accumulating the whole
+    # gathered chunk along axis 1 (in place, eliding the cumsum copies)
+    # performs the exact same per-row IEEE operation sequence as a per-row
+    # loop — one ufunc call per chunk instead of one per run.  Small
+    # batches keep the row loop: the per_run gather ``arr[r][om[r]]`` is
+    # cheaper than building take_along_axis index grids there (the
+    # run-batched reductions sample thousands of tiny batches).
+    if per_run and n_runs < 64:
+        buf = np.empty(n, dtype=arr.dtype)
         for r in range(n_runs):
             np.add.accumulate(arr[r][om[r]], out=buf)
             out[r] = buf[-1]
         return out
     for lo, hi in iter_run_chunks(n_runs, n, chunk_runs=chunk_runs):
-        gathered = arr[om[lo:hi]]
-        for r in range(hi - lo):
-            np.add.accumulate(gathered[r], out=buf)
-            out[lo + r] = buf[-1]
+        gathered = (
+            np.take_along_axis(arr[lo:hi], om[lo:hi], axis=1)
+            if per_run
+            else arr[om[lo:hi]]
+        )
+        np.add.accumulate(gathered, axis=1, out=gathered)
+        out[lo:hi] = gathered[:, -1]
     return out
 
 

@@ -131,6 +131,14 @@ def list_devices() -> list[str]:
 
 # --------------------------------------------------------------------------
 # Built-in devices.  Datasheet numbers where public; *_ns/jitter calibrated.
+#
+# The registry spans the paper's measured families (v100 / gh200 / mi250x,
+# plus the h100 of Tables 6/8), two architecture extensions for the
+# cross-device sweeps (a100, mi300a), a synthetic warp-32-vs-64 ablation
+# pair ("warp32"/"warp64") and a host "cpu" profile.  The deterministic
+# LPU model ("lpu", zero-jitter statically scheduled pipeline) registers
+# itself on ``import repro.lpu`` — the device-sweep experiments import it
+# so the zero-variability row is always available.
 # --------------------------------------------------------------------------
 
 register_device(
@@ -192,6 +200,60 @@ register_device(
         sched_jitter=0.12,
     )
 )
+
+register_device(
+    DeviceSpec(
+        name="a100",
+        vendor="nvidia",
+        num_sms=108,
+        max_threads_per_sm=2048,
+        warp_size=32,
+        mem_bandwidth_gbs=2039.0,
+        atomic_conflict_ns=1.9,
+        kernel_launch_us=5.0,
+        cpu_sum_ns_per_elem=1.0,
+        sched_jitter=0.09,
+    )
+)
+
+register_device(
+    DeviceSpec(
+        name="mi300a",
+        vendor="amd",
+        num_sms=228,
+        num_gpcs=8,  # XCD granularity: block dispatch rotates per die
+        max_threads_per_sm=2048,
+        warp_size=64,
+        mem_bandwidth_gbs=5300.0,
+        atomic_conflict_ns=2.2,
+        kernel_launch_us=7.0,
+        cpu_sum_ns_per_elem=0.9,
+        sched_jitter=0.13,
+    )
+)
+
+# Warp-width ablation pair: two synthetic profiles identical in every
+# number except the warp (wavefront) size, isolating the effect of
+# lane-granular atomic retirement on the thread-order experiments.  The
+# block-level scheduling model never reads warp_size (occupancy counts
+# threads and blocks), so the pair produces bit-identical block
+# completion orders from the same streams and diverges only in
+# thread/warp retirement granularity — pinned by tests/test_device_axis.py.
+for _warp in (32, 64):
+    register_device(
+        DeviceSpec(
+            name=f"warp{_warp}",
+            vendor="nvidia" if _warp == 32 else "amd",
+            num_sms=96,
+            max_threads_per_sm=2048,
+            warp_size=_warp,
+            mem_bandwidth_gbs=1200.0,
+            atomic_conflict_ns=2.0,
+            kernel_launch_us=6.0,
+            cpu_sum_ns_per_elem=1.0,
+            sched_jitter=0.10,
+        )
+    )
 
 register_device(
     DeviceSpec(

@@ -74,6 +74,36 @@ into bit-exact single-process results.  ``tests/test_sharded_executor.py``
 and the fuzz suite in ``tests/test_batched_engine.py`` pin this for
 randomised offsets and shard boundaries.
 
+Device planes: the anchored cell contract of the cross-device sweeps
+--------------------------------------------------------------------
+The cross-architecture experiments (``figS1``) do not consume the shared
+sequential ladder above — doing so would couple each device's bits to the
+device list and loop order.  Instead every ``(device, array)`` sweep cell
+owns one **anchored stream** (:meth:`repro.runtime.RunContext.
+device_stream`, a pure function of ``(seed, device name, anchor, cell)``
+where ``anchor`` is the context's ladder position on sweep entry), and
+draws its whole run axis from it in a fixed order:
+
+1. **raw rotations** — one ``integers(num_gpcs, size=R)`` draw covering
+   *all* ``R`` runs of the cell up front (skipped when ``params.rotation``
+   is false);
+2. **block matrix** — float32 ``random`` rows of shape ``(rows, n_blocks)``
+   drawn in run order (skipped when the resolved model needs no block
+   vector).  Row draws are *prefix-stable* — each float32 consumes exactly
+   one stream word, so drawing rows ``[0, hi)`` in any chunking yields the
+   same bits — which is what lets a shard advance to its window ``[lo,
+   hi)`` by discarding rows and still reproduce the serial rows exactly.
+
+:meth:`WaveSchedulerBatch.block_completion_orders_from_draws` turns those
+raw draws into completion orders through the very same float32 transform
+and argsort as the per-run paths.  Consequences: a sweep over any subset
+of devices reproduces each device's rows bit-identically (single-device
+replays are exact), deterministic devices draw nothing (their one
+schedule is computed once and pooled across the run axis), and run-window
+sharding composes with the anchoring because the cell stream — not the
+ladder — carries the run axis.  ``tests/test_device_axis.py`` pins the
+cell contract, the subset-invariance and the window slicing.
+
 Draw contracts of the other batched run consumers
 -------------------------------------------------
 The one-stream-per-run rule generalises beyond this module; every batched
@@ -523,6 +553,25 @@ class WaveSchedulerBatch:
         self._mod = max(launch.n_blocks, 1)
 
     # ------------------------------------------------------------------ draws
+    @property
+    def needs_rotation(self) -> bool:
+        """Whether each run draws one raw rotation (``integers(num_gpcs)``).
+
+        Public half of the device-plane cell contract: callers that
+        pre-draw a cell's run axis themselves (for
+        :meth:`block_completion_orders_from_draws`) consult this instead
+        of re-deriving the resolved model's draw decisions.
+        """
+        return self.params.rotation
+
+    def needs_block_draw(self, contention: float = 0.0) -> bool:
+        """Whether each run draws the float32 block vector at this
+        contention (positive effective jitter or active stragglers) —
+        the other half of the pre-drawn cell contract."""
+        proto = self._proto
+        sigma = proto._effective_jitter(self.params.block_jitter, contention)
+        return proto._needs_block_draw(sigma, self.launch.n_blocks)
+
     def _draw_block_inputs(
         self, n_runs: int, sigma: float, rngs: list[np.random.Generator] | None = None
     ) -> tuple[np.ndarray, np.ndarray | None, list[np.random.Generator]]:
@@ -580,6 +629,37 @@ class WaveSchedulerBatch:
     ) -> np.ndarray:
         """``(n_runs, n_blocks)`` block completion orders, one run per row."""
         times = self.block_arrival_times_batch(n_runs, contention, rngs=rngs)
+        return np.argsort(times, axis=-1)
+
+    def block_completion_orders_from_draws(
+        self,
+        rots: np.ndarray | None,
+        u: np.ndarray | None,
+        contention: float = 0.0,
+    ) -> np.ndarray:
+        """Orders from pre-drawn raw rotation and block-jitter draws.
+
+        The draw-from-matrix half of the **device-plane cell contract**
+        (module docstring): the caller owns one anchored stream per sweep
+        cell and draws the raw rotation vector (``integers(num_gpcs)``
+        values; ``None`` when ``params.rotation`` is off) and the float32
+        uniform block matrix rows itself — this method applies exactly
+        the transform and sort the per-run paths apply, so row ``r`` is
+        bit-identical to a :class:`WaveScheduler` run fed the same two
+        draws.  ``u`` may be ``None`` when the resolved model needs no
+        block vector (deterministic devices; zero jitter without
+        stragglers).
+        """
+        if rots is None and u is None:
+            raise SchedulerError("need rots and/or u (at least one draw set)")
+        n_runs = len(rots) if rots is not None else len(u)
+        if u is not None and len(u) != n_runs:
+            raise SchedulerError(f"expected {n_runs} u rows, got {len(u)}")
+        if rots is not None:
+            rot_idx = (np.asarray(rots, dtype=np.int64) * self._per_gpc) % self._mod
+        else:
+            rot_idx = np.zeros(n_runs, dtype=np.int64)
+        times = self._proto._block_times_from(rot_idx, u, contention)
         return np.argsort(times, axis=-1)
 
     # ---------------------------------------------------------------- threads

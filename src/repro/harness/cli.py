@@ -5,9 +5,18 @@ Usage::
     repro-experiments list
     repro-experiments run table1 [--scale default|paper] [--seed N]
                                  [--workers N] [--json] [--out DIR]
+                                 [--devices NAMES]
                                  [--no-cache] [--cache-dir DIR]
     repro-experiments run-all [--scale default] [--seed N] [--workers N]
-                              [--out DIR] [--no-cache] [--cache-dir DIR]
+                              [--out DIR] [--devices NAMES]
+                              [--no-cache] [--cache-dir DIR]
+
+Device axis: ``--devices v100,gh200,lpu`` overrides the device list of the
+cross-architecture experiments (e.g. ``figS1``, whose report carries one
+row per device) or the single device of one-device experiments.  Device
+streams are anchored per (device, array) cell, so a subset sweep
+reproduces exactly the rows the full sweep produces for those devices.
+Override sets are part of the result-cache key.
 
 Parallelism: ``--workers N`` (default: the ``REPRO_WORKERS`` environment
 variable, else 1) shards each shardable experiment's simulated runs
@@ -30,8 +39,9 @@ import os
 import sys
 from pathlib import Path
 
-from ..errors import ReproError
+from ..errors import ConfigurationError, ReproError
 from ..experiments import get_experiment, list_experiments, to_json, to_markdown
+from ..gpusim.device import get_device
 from .parallel import ShardedExecutor
 from .results import ResultCache, cache_key, save_result
 
@@ -57,6 +67,14 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
         "--workers", type=int, default=None, metavar="N",
         help="shard runs across N processes (default: $REPRO_WORKERS or 1); "
         "merging is bit-exact, so results never depend on N",
+    )
+    p.add_argument(
+        "--devices", default=None, metavar="NAMES",
+        help="comma-separated device list overriding the experiment's "
+        "device axis (e.g. --devices a100,mi300a,lpu); a single name also "
+        "overrides single-device experiments; run-all applies the list "
+        "where it fits (device-axis experiments always, single-device "
+        "experiments only for a single name) and leaves the rest untouched",
     )
     p.add_argument(
         "--no-cache", action="store_true",
@@ -89,14 +107,48 @@ def build_parser() -> argparse.ArgumentParser:
     return p
 
 
-def _run_one(executor, cache, eid: str, args) -> tuple:
+def _device_overrides(eid: str, args, *, strict: bool) -> dict:
+    """Translate ``--devices`` into parameter overrides for ``eid``.
+
+    Experiments with a ``devices`` axis get the full tuple; single-device
+    experiments accept exactly one name.  ``strict`` (the single-``run``
+    path) raises on experiments without a device parameter; ``run-all``
+    passes ``strict=False`` and leaves them untouched.
+    """
+    if not args.devices:
+        return {}
+    names = tuple(d.strip().lower() for d in args.devices.split(",") if d.strip())
+    if not names:
+        raise ConfigurationError("--devices needs at least one device name")
+    for name in names:
+        get_device(name)  # fail fast on unknown devices
+    params = get_experiment(eid).params_for(args.scale)
+    if "devices" in params:
+        return {"devices": names}
+    if "device" in params:
+        if len(names) == 1:
+            return {"device": names[0]}
+        if strict:
+            raise ConfigurationError(
+                f"experiment {eid!r} models a single device; "
+                f"--devices got {len(names)} names"
+            )
+        return {}  # run-all: leave single-device experiments untouched
+    if strict:
+        raise ConfigurationError(
+            f"experiment {eid!r} has no device parameter to override"
+        )
+    return {}
+
+
+def _run_one(executor, cache, eid: str, args, overrides: dict) -> tuple:
     """Cache-aware single-experiment execution; returns (result, hit)."""
-    key = cache_key(eid, args.scale, args.seed)
+    key = cache_key(eid, args.scale, args.seed, overrides)
     if cache is not None:
         cached = cache.lookup(key)
         if cached is not None:
             return cached, True
-    result = executor.run(eid, scale=args.scale, seed=args.seed)
+    result = executor.run(eid, scale=args.scale, seed=args.seed, **overrides)
     if cache is not None:
         cache.store(key, result)
     return result, False
@@ -117,7 +169,10 @@ def main(argv: list[str] | None = None) -> int:
         with ShardedExecutor(workers=args.workers) as executor:
             if args.command == "run":
                 get_experiment(args.experiment_id)  # fail fast on unknown ids
-                result, hit = _run_one(executor, cache, args.experiment_id, args)
+                overrides = _device_overrides(args.experiment_id, args, strict=True)
+                result, hit = _run_one(
+                    executor, cache, args.experiment_id, args, overrides
+                )
                 print(to_json(result) if args.json else to_markdown(result))
                 if hit:
                     print("[cache hit]", file=sys.stderr)
@@ -127,7 +182,8 @@ def main(argv: list[str] | None = None) -> int:
                 return 0
             if args.command == "run-all":
                 for eid in list_experiments():
-                    result, hit = _run_one(executor, cache, eid, args)
+                    overrides = _device_overrides(eid, args, strict=False)
+                    result, hit = _run_one(executor, cache, eid, args, overrides)
                     print(to_markdown(result))
                     if hit:
                         print(f"[cache hit: {eid}]", file=sys.stderr)

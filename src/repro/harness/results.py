@@ -21,12 +21,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
+import tempfile
 import time
 import warnings
 from datetime import datetime, timezone
 from pathlib import Path
 
-from ..errors import ExperimentError
+from ..errors import ConfigurationError, ExperimentError
 from ..experiments.base import ExperimentResult
 
 __all__ = [
@@ -56,12 +58,38 @@ def _result_from_dict(data: dict, origin) -> ExperimentResult:
         raise ExperimentError(f"malformed result file {origin}: missing {exc}") from exc
 
 
+def _atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (same-directory temp file +
+    ``os.replace``).
+
+    A bare ``path.write_text`` truncates before writing, so a crash — or a
+    concurrent reader in a multi-process ``run-all --workers`` pool sharing
+    one directory — can observe a half-written file.  ``os.replace`` is
+    atomic on POSIX and Windows within one filesystem, so readers only ever
+    see the old complete file or the new complete file.
+    """
+    fd, tmp = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:  # pragma: no cover - already replaced/removed
+            pass
+        raise
+
+
 def save_result(result: ExperimentResult, directory: str | Path) -> Path:
     """Archive ``result`` as JSON in ``directory``; returns the path.
 
     The filename is ``<id>_<scale>_seed<seed>.json`` (``<id>_<scale>.json``
     for legacy results that carry no seed), so archives of different seeds
-    coexist instead of silently overwriting each other.
+    coexist instead of silently overwriting each other.  The write is
+    atomic (:func:`_atomic_write_text`).
     """
     d = Path(directory)
     d.mkdir(parents=True, exist_ok=True)
@@ -69,7 +97,7 @@ def save_result(result: ExperimentResult, directory: str | Path) -> Path:
     if result.seed is not None:
         stem += f"_seed{result.seed}"
     path = d / f"{stem}.json"
-    path.write_text(json.dumps(result.as_dict(), indent=2, default=str))
+    _atomic_write_text(path, json.dumps(result.as_dict(), indent=2, default=str))
     return path
 
 
@@ -111,6 +139,53 @@ def code_fingerprint() -> str:
     return _FINGERPRINT_CACHE
 
 
+def _canonical_override(value, path: str):
+    """Map one override value onto the canonical JSON-value domain.
+
+    ``json.dumps(..., default=str)`` silently stringified anything
+    non-JSON, so distinct values could collide into one key
+    (``np.float64(2)`` vs the string ``"2.0"``) or produce repr-dependent
+    keys (a ``DeviceSpec``'s dataclass repr).  Canonicalization is
+    strict instead: booleans, ints, floats, strings and ``None`` pass
+    through (NumPy scalars collapse onto their Python equivalents, so
+    ``np.float64(2.0)`` and ``2.0`` share a key — they resolve to the
+    same experiment parameters), sequences become lists, mappings must
+    have string keys, and anything else raises
+    :class:`~repro.errors.ConfigurationError` naming the offending entry.
+    """
+    import numpy as np
+
+    if isinstance(value, (bool, np.bool_)):
+        return bool(value)
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if value is None or isinstance(value, str):
+        return value
+    if isinstance(value, (list, tuple, np.ndarray)):
+        if isinstance(value, np.ndarray) and value.ndim == 0:
+            return _canonical_override(value[()], path)
+        return [
+            _canonical_override(v, f"{path}[{i}]") for i, v in enumerate(value)
+        ]
+    if isinstance(value, dict):
+        out = {}
+        for k, v in value.items():
+            if not isinstance(k, str):
+                raise ConfigurationError(
+                    f"cache_key override {path}: mapping keys must be str, "
+                    f"got {type(k).__name__}"
+                )
+            out[k] = _canonical_override(v, f"{path}[{k!r}]")
+        return out
+    raise ConfigurationError(
+        f"cache_key override {path}: cannot canonicalize "
+        f"{type(value).__name__} values (use ints/floats/str/bool/None, "
+        "sequences or str-keyed mappings)"
+    )
+
+
 def cache_key(
     experiment_id: str,
     scale: str,
@@ -119,15 +194,23 @@ def cache_key(
     *,
     fingerprint: str | None = None,
 ) -> str:
-    """Content address of one experiment invocation."""
+    """Content address of one experiment invocation.
+
+    Override values are canonicalized (:func:`_canonical_override`) so
+    equal parameter sets share one key regardless of spelling (tuple vs
+    list, NumPy scalar vs Python scalar) and non-serialisable values fail
+    loudly instead of keying on their repr.
+    """
     doc = {
         "experiment_id": experiment_id,
         "scale": scale,
         "seed": int(seed),
-        "overrides": overrides or {},
+        "overrides": {
+            k: _canonical_override(v, k) for k, v in (overrides or {}).items()
+        },
         "code_fingerprint": fingerprint or code_fingerprint(),
     }
-    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"), default=str)
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()
 
 
@@ -217,5 +300,8 @@ class ResultCache:
             "result": result.as_dict(),
         }
         path = self.path_for(key)
-        path.write_text(json.dumps(entry, indent=2, default=str))
+        # Atomic: concurrent run-all --workers pools share one cache
+        # directory, and a reader racing a bare write_text would degrade
+        # to a spurious corruption warning + recompute.
+        _atomic_write_text(path, json.dumps(entry, indent=2, default=str))
         return path

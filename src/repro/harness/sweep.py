@@ -46,9 +46,20 @@ class Sweep:
     rows: list[dict] = field(default_factory=list)
 
     def run(self, *, limit: int | None = None) -> list[dict]:
-        """Execute the sweep; returns (and stores) the rows."""
+        """Execute the sweep; returns (and stores) the rows.
+
+        ``limit`` (when given) must be a positive int: a sweep truncated
+        to zero points silently produces no rows, which downstream code
+        reads as "the sweep ran and found nothing".
+        """
         if not callable(self.runner):
             raise ConfigurationError(f"sweep {self.name!r}: runner must be callable")
+        if limit is not None and (
+            isinstance(limit, bool) or not isinstance(limit, int) or limit < 1
+        ):
+            raise ConfigurationError(
+                f"sweep {self.name!r}: limit must be a positive int, got {limit!r}"
+            )
         self.rows = []
         for i, point in enumerate(grid(**self.axes)):
             if limit is not None and i >= limit:
@@ -62,5 +73,17 @@ class Sweep:
         return self.rows
 
     def column(self, key: str) -> list:
-        """Extract one column from the collected rows."""
-        return [row[key] for row in self.rows]
+        """Extract one column from the collected rows.
+
+        Raises :class:`~repro.errors.ConfigurationError` (naming the
+        sweep and the missing key) when any collected row lacks ``key``
+        — a bare ``KeyError`` from a row dict points at nothing.
+        """
+        try:
+            return [row[key] for row in self.rows]
+        except KeyError:
+            known = sorted({k for row in self.rows for k in row})
+            raise ConfigurationError(
+                f"sweep {self.name!r}: no column {key!r} in the collected "
+                f"rows; known columns: {known}"
+            ) from None

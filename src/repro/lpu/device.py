@@ -4,6 +4,14 @@ Cycle costs are calibrated so the reference workloads of the paper's
 Tables 6 and 8 land on the published numbers (scatter_reduce sum
 n=1000, R=0.5 → 10.5 us; mean → 28.9 us; index_add 1000x1000 → 12.0 us;
 GraphSAGE inference → 66 us); see EXPERIMENTS.md for measured-vs-paper.
+
+The registered ``"lpu"`` spec is ``deterministic=True``: the scheduler
+model resolves it to zero jitter, no rotation and no stragglers, so every
+simulated run produces one static schedule.  The cross-architecture sweep
+(``figS1``) surfaces this as the zero-variability row — its device-plane
+streams draw nothing for deterministic devices, and the single schedule
+is pooled across the whole run axis (see
+:func:`repro.experiments._sumdist.spa_vs_samples_devices`).
 """
 
 from __future__ import annotations

@@ -30,6 +30,12 @@ kinds of streams:
     non-determinism, matching the paper's controlled setup (fixed RNG seed,
     single GPU).
 
+A fourth kind, the **device plane** (:meth:`RunContext.device_stream`),
+serves the cross-architecture sweeps: one stream per ``(device name,
+anchor, cell)`` tuple, independent of the run-counter ladder, so each
+simulated device's scheduling draws are the same no matter which other
+devices run alongside it or in which order.
+
 A module-level default context is used by code that does not thread an
 explicit context; :func:`seed_all` resets it.
 
@@ -50,6 +56,7 @@ shard's draws are not one contiguous block (e.g. a sweep that consumes
 from __future__ import annotations
 
 import contextlib
+import hashlib
 import threading
 from dataclasses import dataclass, field
 from typing import Iterator
@@ -69,6 +76,7 @@ __all__ = [
 _DATA_TAG = 0x0DA7A
 _SCHED_TAG = 0x5C4ED
 _INIT_TAG = 0x1217
+_DEVICE_TAG = 0xDE51CE
 
 
 @dataclass
@@ -138,6 +146,45 @@ class RunContext:
             run = self._run_counter
             self._run_counter += 1
         ss = np.random.SeedSequence(entropy=self.seed, spawn_key=(_SCHED_TAG, run))
+        return np.random.default_rng(ss)
+
+    def device_stream(
+        self, device: str, cell: int = 0, *, anchor: int = 0
+    ) -> np.random.Generator:
+        """Return one anchored device-plane stream.
+
+        The stream is a pure function of ``(seed, device name, anchor,
+        cell)`` — it neither reads nor advances the run-counter ladder,
+        and no two devices (or cells, or anchors) ever share a stream.
+        This is the anchoring contract of the cross-architecture sweeps
+        (:mod:`repro.experiments.figs_devices`): every ``(device, array)``
+        cell owns one stream holding that cell's whole run axis, so a
+        sweep over any *subset* of devices reproduces each device's rows
+        bit-identically — devices no longer consume a shared sequential
+        ladder whose bits depend on the device list and loop order.
+        ``anchor`` carries the caller's ladder position on entry, so
+        reused contexts keep drawing fresh device planes (the same
+        continuation semantics as :meth:`scheduler`).  The per-cell draw
+        order is defined by the consumer; the device-sweep cell sequence
+        is catalogued in :mod:`repro.gpusim.scheduler`.
+        """
+        if not isinstance(device, str) or not device:
+            raise ConfigurationError(f"device must be a non-empty str, got {device!r}")
+        if not isinstance(cell, (int, np.integer)) or cell < 0:
+            raise ConfigurationError(f"cell must be a non-negative int, got {cell!r}")
+        if not isinstance(anchor, (int, np.integer)) or anchor < 0:
+            raise ConfigurationError(f"anchor must be a non-negative int, got {anchor!r}")
+        # hashlib, not hash(): the latter is process-randomised for str and
+        # would break cross-process replayability (the sharded executor
+        # rebuilds these streams in worker processes).
+        digest = hashlib.sha256(device.lower().encode()).digest()
+        words = tuple(
+            int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)
+        )
+        ss = np.random.SeedSequence(
+            entropy=self.seed,
+            spawn_key=(_DEVICE_TAG, *words, int(anchor), int(cell)),
+        )
         return np.random.default_rng(ss)
 
     def peek_run_counter(self) -> int:

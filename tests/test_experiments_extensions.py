@@ -14,15 +14,26 @@ class TestFigS1Devices:
         )
 
     def test_all_families_present(self, result):
-        assert {r["device"] for r in result.rows} == {"v100", "gh200", "mi250x"}
+        # The paper's three measured families plus the registry extensions
+        # and the deterministic LPU row.
+        devices = {r["device"] for r in result.rows}
+        assert {"v100", "gh200", "mi250x", "a100", "mi300a", "lpu"} == devices
 
     def test_shapes_similar_normal(self, result):
         # "the shapes are similar": majority of arrays normal per family.
-        assert sum(r["frac_arrays_normal_by_kl"] >= 0.5 for r in result.rows) >= 2
+        fpna = [r for r in result.rows if not r["deterministic"]]
+        assert sum(r["frac_arrays_normal_by_kl"] >= 0.5 for r in fpna) >= 2
 
     def test_moments_are_per_family(self, result):
-        means = [r["vs_mean_x1e16"] for r in result.rows]
-        assert len(set(means)) == 3  # distinct per family
+        fpna = [r for r in result.rows if not r["deterministic"]]
+        means = [r["vs_mean_x1e16"] for r in fpna]
+        assert len(set(means)) == len(fpna)  # distinct per family
+
+    def test_deterministic_row_has_zero_variability(self, result):
+        lpu = [r for r in result.rows if r["device"] == "lpu"]
+        assert len(lpu) == 1 and lpu[0]["deterministic"] is True
+        assert lpu[0]["vs_std_x1e16"] == 0.0
+        assert lpu[0]["distinct_sums_per_array"] == 1.0
 
 
 class TestCgDivergence:

@@ -16,7 +16,13 @@ they record the one-stream-per-training-run draw contract (scalar
 ``train_graphsage`` / ``run_inference`` pin one context stream per run
 instead of drawing one per kernel call, and the kernels now draw from the
 experiment's context rather than the process default), so pre-engine GNN
-bits legitimately differ.
+bits legitimately differ.  The fig2/maxvs/table8 pins were captured when
+those experiments moved onto the sharded run-axis protocol and record the
+*pre-existing* serial bits (the move was verified bit-preserving); the
+figS1 pin records the device-plane anchoring contract (one anchored
+stream per (device, array) cell instead of a shared sequential ladder —
+see :mod:`repro.gpusim.scheduler`), so pre-anchoring figS1 bits
+legitimately differ.
 
 Regenerating after an intentional semantic change::
 
@@ -37,9 +43,12 @@ from repro.runtime import RunContext
 
 #: Dev-scale overrides keeping the pins fast (< ~0.5 s total).
 _OVERRIDES: dict[str, dict] = {
+    "fig2": {"n_runs": 60, "n_arrays": 2},
     "fig3": {"n_runs": 8},
     "fig4": {"n_runs": 10},
     "fig5": {"n_runs": 10},
+    "figS1": {"n_elements": 4_000, "n_arrays": 2, "n_runs": 24},
+    "maxvs": {"sizes": (1_000, 4_000), "n_arrays": 2, "n_runs": 40},
     "cgdiv": {"n": 80, "n_runs": 3, "n_iter": 12},
     "table3": {},
     "table7": {"n_models": 4, "epochs": 3},
@@ -48,9 +57,12 @@ _OVERRIDES: dict[str, dict] = {
 
 GOLDEN_SHA256: dict[str, str] = {
     "cgdiv": "5fccfa4958e04baceac7c1648dee44249ef60e076fd18b62ed2c32333dc30b15",
+    "fig2": "5019c432206a1415b0ae53f86ecc04cf91f0df1acfc7bc228530277d716ca9e9",
     "fig3": "906b14509cd7362d26947ca714681bad6d73d14d27b786879f36b69d2a0d0590",
     "fig4": "d13da4f2b51841b3fd65c0fe3051299ad96c92ebd2243434451dd04c81c79c95",
     "fig5": "7691f3ae4dfbb5fad89e58b1daffe9587289618ec50ca605aebcc1adf1565d4c",
+    "figS1": "017979d04f9d869e56f8d4d4cb0df370dfa80d70670a7afaf78d1b373c4fdb95",
+    "maxvs": "4483dfe3a4616a6ddf6c3261e7db15dc50f6e87ef5a94e880c284a15826a633d",
     "table3": "9d096da37ca859d8e7ad9e5278377ea62c44bd01347f1c543115ec214465232a",
     "table7": "e5b4a4509cc195be0e9120e26bf550d8ebe2e37a0e67460fec0b81e8b2e12a05",
     "table8": "f70b41cd224233073b551098c2450eda26e60786a05fbcba19a172d9173bfffc",

@@ -56,6 +56,21 @@ class TestSweep:
         s = Sweep("demo", {"n": list(range(100))}, lambda n: {"v": n})
         assert len(s.run(limit=5)) == 5
 
+    def test_non_positive_limit_rejected(self):
+        # Regression: limit=0 used to silently produce an empty sweep.
+        s = Sweep("demo", {"n": [1, 2]}, lambda n: {"v": n})
+        for bad in (0, -3, 2.5, True):
+            with pytest.raises(ConfigurationError, match="'demo'.*limit"):
+                s.run(limit=bad)
+
+    def test_missing_column_names_sweep_and_key(self):
+        # Regression: a bare KeyError pointed at nothing.
+        s = Sweep("demo", {"n": [1, 2]}, lambda n: {"sq": n * n})
+        s.run()
+        with pytest.raises(ConfigurationError, match="'demo'.*'cube'") as exc:
+            s.column("cube")
+        assert "sq" in str(exc.value)  # known columns listed
+
     def test_non_dict_row_rejected(self):
         s = Sweep("demo", {"n": [1]}, lambda n: n)
         with pytest.raises(ConfigurationError):
@@ -164,6 +179,39 @@ class TestResultCache:
         base = cache_key("fig4", "default", 0)
         assert cache_key("fig4", "default", 0, {"n_runs": 3}) != base
 
+    def test_override_canonicalization_equates_equal_values(self):
+        # Regression: json.dumps(default=str) keyed NumPy scalars on their
+        # repr, so np.float64(2.0) and 2.0 produced different keys for the
+        # same experiment invocation (and vice versa could collide
+        # distinct values onto one string).
+        base = cache_key("fig4", "default", 0, {"cond": 2.0, "n_runs": 3})
+        assert cache_key(
+            "fig4", "default", 0, {"cond": np.float64(2.0), "n_runs": np.int32(3)}
+        ) == base
+        # Sequences canonicalize to lists: tuple spelling is irrelevant.
+        assert cache_key("figS1", "default", 0, {"devices": ("v100", "lpu")}) == \
+            cache_key("figS1", "default", 0, {"devices": ["v100", "lpu"]})
+        assert cache_key(
+            "figS1", "default", 0, {"devices": np.array(["v100", "lpu"])}
+        ) == cache_key("figS1", "default", 0, {"devices": ("v100", "lpu")})
+
+    def test_override_canonicalization_distinguishes_types(self):
+        # int 2 and float 2.0 resolve different parameter values.
+        assert cache_key("fig4", "default", 0, {"x": 2}) != \
+            cache_key("fig4", "default", 0, {"x": 2.0})
+        assert cache_key("fig4", "default", 0, {"x": True}) != \
+            cache_key("fig4", "default", 0, {"x": 1})
+
+    def test_non_canonicalizable_override_raises(self):
+        from repro.gpusim.device import get_device
+
+        with pytest.raises(ConfigurationError, match="device.*DeviceSpec"):
+            cache_key("fig4", "default", 0, {"device": get_device("v100")})
+        with pytest.raises(ConfigurationError, match=r"opts\['fn'\]"):
+            cache_key("fig4", "default", 0, {"opts": {"fn": lambda: None}})
+        with pytest.raises(ConfigurationError, match="keys must be str"):
+            cache_key("fig4", "default", 0, {"opts": {3: "x"}})
+
     def test_corrupted_entry_warns_and_misses(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = cache_key("table2", "default", 0)
@@ -229,6 +277,71 @@ class TestResultCache:
         assert cache.lookup(key) is not None
         assert path.stat().st_mtime > before
 
+    def test_store_and_save_leave_no_temp_files(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        res = self._result()
+        cache.store(cache_key("table2", "default", 0), res)
+        save_result(res, tmp_path / "archive")
+        leftovers = [
+            p for p in (tmp_path / "cache").iterdir() if p.suffix == ".tmp"
+        ] + [p for p in (tmp_path / "archive").iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+def _race_writer(directory: str, key: str, n_stores: int) -> None:
+    """Worker: repeatedly store a sizeable entry under one shared key."""
+    from repro.experiments.base import ExperimentResult
+    from repro.harness import ResultCache
+
+    result = ExperimentResult(
+        experiment_id="race", title="cache race probe", scale="default",
+        params={"n": 1}, rows=[{"v": float(i)} for i in range(64)],
+        extra={"pad": "x" * 200_000}, seed=0,
+    )
+    cache = ResultCache(directory)
+    for _ in range(n_stores):
+        cache.store(key, result)
+
+
+class TestResultCacheConcurrency:
+    def test_concurrent_stores_never_expose_partial_entries(self, tmp_path):
+        """Two processes hammering one key while this process reads.
+
+        Regression: a bare ``path.write_text`` truncates in place, so a
+        reader racing a writer saw half-written JSON — masked as a
+        corruption warning + recompute.  With the same-directory temp
+        file + ``os.replace``, every lookup observes a miss or a complete
+        entry, never a warning.
+        """
+        import multiprocessing
+        import warnings
+
+        key = "ab" * 32  # key-shaped: 64 hex chars
+        mp = multiprocessing.get_context("spawn")
+        workers = [
+            mp.Process(target=_race_writer, args=(str(tmp_path), key, 12))
+            for _ in range(2)
+        ]
+        for w in workers:
+            w.start()
+        cache = ResultCache(tmp_path)
+        hits = 0
+        try:
+            with warnings.catch_warnings():
+                warnings.simplefilter("error")  # any corruption warning fails
+                while any(w.is_alive() for w in workers):
+                    found = cache.lookup(key)
+                    if found is not None:
+                        hits += 1
+                        assert found.experiment_id == "race"
+                        assert len(found.rows) == 64
+        finally:
+            for w in workers:
+                w.join()
+        final = cache.lookup(key)
+        assert final is not None and final.extra["pad"] == "x" * 200_000
+        assert hits > 0  # the reader actually raced the writers
+
 
 class TestCli:
     def test_list_command(self, capsys):
@@ -286,3 +399,29 @@ class TestCli:
         p = build_parser()
         args = p.parse_args(["run", "fig1", "--scale", "paper"])
         assert args.experiment_id == "fig1" and args.scale == "paper"
+
+    def test_devices_override_errors(self, capsys):
+        # Unknown device, no device axis, and multi-name on a
+        # single-device experiment all fail fast on `run`.
+        assert main(["run", "figS1", "--no-cache", "--devices", "nodev"]) == 1
+        assert "unknown device" in capsys.readouterr().err
+        assert main(["run", "table2", "--no-cache", "--devices", "v100"]) == 1
+        assert "no device parameter" in capsys.readouterr().err
+        assert main(["run", "fig2", "--no-cache", "--devices", "v100,gh200"]) == 1
+        assert "single device" in capsys.readouterr().err
+
+    def test_devices_override_applies_where_it_fits(self, capsys):
+        from repro.harness.cli import _device_overrides
+
+        args = build_parser().parse_args(
+            ["run-all", "--devices", "v100,gh200", "--no-cache"]
+        )
+        # Device-axis experiments get the tuple; single-device and
+        # device-free experiments are left untouched under run-all.
+        assert _device_overrides("figS1", args, strict=False) == {
+            "devices": ("v100", "gh200")
+        }
+        assert _device_overrides("fig2", args, strict=False) == {}
+        assert _device_overrides("table2", args, strict=False) == {}
+        args1 = build_parser().parse_args(["run", "fig2", "--devices", "GH200"])
+        assert _device_overrides("fig2", args1, strict=True) == {"device": "gh200"}

@@ -67,6 +67,16 @@ def _sharded(eid: str, overrides: dict, splits, seed: int = 0):
 #: GNN population, PDF arrays).
 SHARDABLE_CASES = [
     ("fig1", {"n_runs": 9}, {"n_elements": 2_000, "n_arrays": 2, "n_runs": 9, "bins": 5}),
+    ("fig2", {"n_runs": 9, "n_arrays": 2}, {
+        "n_elements": 1_920, "spa_n_elements": 2_560, "n_arrays": 2,
+        "n_runs": 9, "bins": 5,
+    }),
+    ("figS1", {"n_runs": 9}, {
+        "devices": ("v100", "mi300a", "lpu"), "n_elements": 2_000,
+        "n_arrays": 2, "n_runs": 9, "bins": 5,
+    }),
+    ("maxvs", {"n_runs": 9}, {"sizes": (1_000, 2_000), "n_arrays": 2, "n_runs": 9}),
+    ("table8", {"check_runs": 9}, {"check_nodes": 48, "check_runs": 9}),
     ("fig3", {"n_runs": 9}, {"sr_dims": (1_000,), "ia_dims": (10,), "ratios": (0.5, 1.0), "n_runs": 9}),
     ("fig4", {"n_runs": 9}, {"ratios": (0.2, 1.0), "sr_dim": 500, "ia_dim": 20, "n_runs": 9}),
     ("fig5", {"n_runs": 9}, {"ratios": (0.2, 1.0), "sr_dim": 500, "ia_dim": 20, "n_runs": 9}),
@@ -316,7 +326,11 @@ class TestReusedContextContinuesLadder:
         ("fig4", {"ratios": (1.0,), "sr_dim": 500, "ia_dim": 20, "n_runs": 5}),
         ("cgdiv", {"n": 50, "cond": 1e3, "n_runs": 3, "n_iter": 8}),
         ("fig1", {"n_elements": 2_000, "n_arrays": 2, "n_runs": 9, "bins": 5}),
+        ("fig2", {"n_elements": 1_920, "spa_n_elements": 2_560, "n_arrays": 2,
+                  "n_runs": 9, "bins": 5}),
+        ("maxvs", {"sizes": (1_000, 2_000), "n_arrays": 2, "n_runs": 9}),
         ("table5", {"n_runs": 4}),
+        ("table8", {"check_nodes": 48, "check_runs": 9}),
     ]
 
     @pytest.mark.parametrize("eid,ov", CASES, ids=[c[0] for c in CASES])
