@@ -117,6 +117,33 @@ def main() -> None:
               f"Vs std = {row['vs_std_x1e16']:.2f}e-16  "
               f"distinct sums/array = {row['distinct_sums_per_array']:.0f}")
 
+    # -- 7. the compiled backend --------------------------------------------
+    # The fold primitives every experiment runs on (permuted sums, tree
+    # folds, atomic folds, segmented folds, blocked cumsum) have compiled C
+    # kernels that replay the NumPy engine's accumulation orders BIT FOR
+    # BIT — same dtype widths, same -0.0/NaN/inf behaviour — so switching
+    # backends changes wall-clock only, never a single result bit.
+    # Selection: REPRO_BACKEND=numpy|compiled|auto (default auto: compiled
+    # when a C toolchain is present, silent numpy fallback otherwise), the
+    # --backend CLI flag, or repro.backend.use_backend(...) in code.  The
+    # result cache keys on the backend identity + kernel-source
+    # fingerprint, so cached numpy and compiled results never alias.
+    from repro import backend
+
+    print(f"\ncompute backend: mode={backend.backend_mode()!r}, "
+          f"compiled available: {backend.compiled_available()}")
+    x_small = repro.RunContext(seed=0).data().standard_normal(10_000)
+    perms = np.stack([np.random.default_rng(i).permutation(10_000)
+                      for i in range(8)])
+    from repro.fp.summation import permuted_sums
+    with backend.use_backend("numpy"):
+        sums_np = permuted_sums(x_small, perms)
+    if backend.compiled_available():
+        with backend.use_backend("compiled"):
+            sums_c = permuted_sums(x_small, perms)
+        same = np.array_equal(sums_np.view(np.int64), sums_c.view(np.int64))
+        print(f"permuted_sums numpy vs compiled: bit-identical = {same}")
+
 
 if __name__ == "__main__":
     main()

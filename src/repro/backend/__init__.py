@@ -1,0 +1,54 @@
+"""Pluggable compiled backend under the engine's fold primitives.
+
+The batched run-axis engine funnels all hot floating-point work through a
+narrow waist of fold primitives (``permuted_sums``, ``batched_tree_fold``,
+``batched_atomic_fold``, the blocked cumsum scan, and the
+``SegmentPlan.fold*`` family).  This package puts a compiled kernel layer
+behind that waist:
+
+* :mod:`repro.backend.csrc` — the C kernels (one template, f32/f64);
+* :mod:`repro.backend.compiled` — cffi ABI-mode build/load + wrappers;
+* :mod:`repro.backend.registry` — selection (``$REPRO_BACKEND`` /
+  :func:`set_backend` / ``--backend``) and per-primitive dispatch.
+
+The hard invariant: **backends differ in wall-clock only, never in
+bits**.  Compiled kernels execute the exact IEEE-754 operation sequence
+of their NumPy twins (same association orders, same f32/f64 intermediate
+widths, same −0.0/NaN/inf handling), pinned by the cross-backend parity
+suite and by running the full batched↔scalar property tests and all
+golden pins under both backends.  Result-cache keys still carry the
+backend identity (:func:`cache_identity`) — key hygiene must not depend
+on that equality.
+
+When the toolchain (cffi + a C compiler) is unavailable, ``auto`` mode
+falls back to the NumPy engine silently; nothing in tier-1 requires the
+compiler.
+"""
+
+from .registry import (
+    BACKEND_ENV,
+    MODES,
+    active_backend,
+    availability_error,
+    backend_mode,
+    cache_identity,
+    compiled_available,
+    resolve,
+    set_backend,
+    use_backend,
+    warm_up,
+)
+
+__all__ = [
+    "BACKEND_ENV",
+    "MODES",
+    "active_backend",
+    "availability_error",
+    "backend_mode",
+    "cache_identity",
+    "compiled_available",
+    "resolve",
+    "set_backend",
+    "use_backend",
+    "warm_up",
+]

@@ -1,0 +1,397 @@
+"""Build, load and wrap the compiled hot-path kernels.
+
+The backend is **cffi in ABI mode**: the C source in
+:mod:`repro.backend.csrc` is compiled once into a content-addressed shared
+library (``repro_kernels_<fingerprint>.so`` under
+:func:`build_dir`), loaded with ``ffi.dlopen``, and exposed through thin
+NumPy-facing wrappers.  ABI mode keeps the build a single ``cc`` subprocess
+call — no setuptools, no API-mode extension build — so the toolchain
+surface is exactly {cffi importable, a C compiler on ``$PATH``}.
+
+Every failure mode (cffi missing, no compiler, compile error, dlopen
+error) degrades to *unavailable* with a recorded reason:
+:func:`available` returns ``False`` and the registry falls back to the
+NumPy engine (silently under ``REPRO_BACKEND=auto``, loudly under
+``REPRO_BACKEND=compiled``).  Import of this module never raises.
+
+Each wrapper validates dtype/contiguity and returns ``NotImplemented``
+for inputs outside the compiled envelope (e.g. ``float16``, non-native
+byte order), which makes the call sites fall through to their NumPy
+paths — per-call graceful degradation, not per-process.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from .csrc import CDEF, CFLAGS, CSRC, KERNEL_FINGERPRINT
+
+__all__ = [
+    "available",
+    "availability_error",
+    "build_dir",
+    "load_library",
+    "IMPLS",
+    "KERNEL_FINGERPRINT",
+]
+
+#: Environment variable overriding where the shared library is built.
+BUILD_DIR_ENV = "REPRO_BACKEND_BUILD_DIR"
+
+_ffi = None
+_lib = None
+_error: str | None = None
+_tried = False
+
+#: Dtypes the kernels are instantiated for.
+_SUFFIX = {np.dtype(np.float64): "f64", np.dtype(np.float32): "f32"}
+
+
+def build_dir() -> Path:
+    """``$REPRO_BACKEND_BUILD_DIR`` or ``~/.cache/repro-backend``."""
+    env = os.environ.get(BUILD_DIR_ENV)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-backend"
+
+
+def _find_compiler() -> str | None:
+    """``$CC`` or the first of ``cc``/``gcc``/``clang`` on ``$PATH``."""
+    cc = os.environ.get("CC")
+    if cc:
+        return cc
+    for name in ("cc", "gcc", "clang"):
+        found = shutil.which(name)
+        if found:
+            return found
+    return None
+
+
+def _build_library(so_path: Path) -> None:
+    """Compile the kernel source into ``so_path`` (atomic, concurrent-safe).
+
+    Two processes racing the build each compile into a private temp file
+    and ``os.replace`` it over the target — dlopen only ever sees a
+    complete library.
+    """
+    cc = _find_compiler()
+    if cc is None:
+        raise RuntimeError("no C compiler found (set $CC or install cc/gcc/clang)")
+    so_path.parent.mkdir(parents=True, exist_ok=True)
+    src_path = so_path.with_suffix(".c")
+    if not src_path.exists():  # kept next to the .so for debugging
+        src_path.write_text(CSRC)
+    fd, tmp = tempfile.mkstemp(dir=so_path.parent, prefix=f".{so_path.name}.", suffix=".tmp")
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [cc, *CFLAGS, "-o", tmp, str(src_path)],
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            raise RuntimeError(
+                f"kernel compilation failed ({cc} exited {proc.returncode}): "
+                f"{proc.stderr.strip()[:500]}"
+            )
+        os.replace(tmp, so_path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def load_library():
+    """Return the loaded kernel library, building it on first use.
+
+    Raises on failure; use :func:`available` for the non-raising probe.
+    The result is cached for the process (including a cached failure —
+    the toolchain does not come and go mid-run).
+    """
+    global _ffi, _lib, _error, _tried
+    if _lib is not None:
+        return _lib
+    if _tried and _error is not None:
+        raise RuntimeError(_error)
+    _tried = True
+    try:
+        from cffi import FFI
+
+        ffi = FFI()
+        ffi.cdef(CDEF)
+        so_path = build_dir() / f"repro_kernels_{KERNEL_FINGERPRINT[:16]}.so"
+        if not so_path.exists():
+            _build_library(so_path)
+        lib = ffi.dlopen(str(so_path))
+    except Exception as exc:  # noqa: BLE001 - any toolchain failure => unavailable
+        _error = f"{type(exc).__name__}: {exc}"
+        raise RuntimeError(_error) from exc
+    _ffi, _lib = ffi, lib
+    return lib
+
+
+def available() -> bool:
+    """True iff the compiled kernels can be (or already were) loaded."""
+    try:
+        load_library()
+    except Exception:
+        return False
+    return True
+
+
+def availability_error() -> str | None:
+    """Why the compiled backend is unavailable (None when it is)."""
+    if available():
+        return None
+    return _error
+
+
+def _reset_for_tests() -> None:
+    """Forget the cached load attempt (tests simulate missing toolchains)."""
+    global _ffi, _lib, _error, _tried
+    _ffi = _lib = _error = None
+    _tried = False
+
+
+# ------------------------------------------------------------------ wrappers
+
+def _suffix(dtype: np.dtype) -> str | None:
+    """Kernel suffix for ``dtype``, or ``None`` when outside the envelope."""
+    if not dtype.isnative:
+        return None
+    return _SUFFIX.get(dtype)
+
+
+def _f64p(arr: np.ndarray):
+    return _ffi.cast("double *", arr.ctypes.data)
+
+
+def _f32p(arr: np.ndarray):
+    return _ffi.cast("float *", arr.ctypes.data)
+
+
+def _valp(arr: np.ndarray):
+    return _f64p(arr) if arr.dtype == np.float64 else _f32p(arr)
+
+
+def _i64(arr) -> np.ndarray:
+    return np.ascontiguousarray(arr, dtype=np.int64)
+
+
+def _i64p(arr: np.ndarray):
+    return _ffi.cast("int64_t *", arr.ctypes.data)
+
+
+def _u8p(arr: np.ndarray):
+    return _ffi.cast("uint8_t *", arr.ctypes.data)
+
+
+def _permuted_sums(arr: np.ndarray, pm: np.ndarray):
+    """Compiled :func:`repro.fp.summation.permuted_sums` core (validated
+    non-empty inputs)."""
+    sfx = _suffix(arr.dtype)
+    if sfx is None:
+        return NotImplemented
+    lib = load_library()
+    arr = np.ascontiguousarray(arr)
+    pm = _i64(pm)
+    out = np.empty(pm.shape[0], dtype=np.float64)
+    getattr(lib, f"repro_permuted_sums_{sfx}")(
+        _valp(arr), _i64p(pm), pm.shape[0], arr.size, _f64p(out)
+    )
+    return out
+
+
+def _batched_tree_fold(mat: np.ndarray):
+    """Compiled :func:`repro.fp.summation.batched_tree_fold` core
+    (``n >= 2`` guaranteed by the call site)."""
+    sfx = _suffix(mat.dtype)
+    if sfx is None:
+        return NotImplemented
+    lib = load_library()
+    mat = np.ascontiguousarray(mat)
+    n_runs, n = mat.shape
+    p = 1 << int(n - 1).bit_length()
+    scratch = np.empty(p, dtype=mat.dtype)
+    out = np.empty(n_runs, dtype=np.float64)
+    getattr(lib, f"repro_tree_fold_rows_{sfx}")(
+        _valp(mat), n_runs, n, p, _valp(scratch), _f64p(out)
+    )
+    return out
+
+
+def _batched_atomic_fold(arr: np.ndarray, om: np.ndarray, per_run: bool):
+    """Compiled :func:`repro.gpusim.atomics.batched_atomic_fold` core."""
+    sfx = _suffix(arr.dtype)
+    if sfx is None:
+        return NotImplemented
+    lib = load_library()
+    arr = np.ascontiguousarray(arr)
+    om = _i64(om)
+    n_runs, n = om.shape
+    out = np.empty(n_runs, dtype=np.float64)
+    getattr(lib, f"repro_atomic_fold_{sfx}")(
+        _valp(arr), _i64p(om), int(per_run), n_runs, n, _f64p(out)
+    )
+    return out
+
+
+def _blocked_cumsum_rows(rows: np.ndarray, chunk: int):
+    """Compiled :func:`repro.ops.cumsum._blocked_cumsum_rows` core
+    (float rows, ``n >= 1``)."""
+    sfx = _suffix(rows.dtype)
+    if sfx is None:
+        return NotImplemented
+    lib = load_library()
+    rows = np.ascontiguousarray(rows)
+    n_rows, n = rows.shape
+    out = np.empty_like(rows)
+    getattr(lib, f"repro_blocked_cumsum_{sfx}")(
+        _valp(rows), n_rows, n, int(chunk), _valp(out)
+    )
+    return out
+
+
+def _segment_fold(plan, vals, orders, init, *, per_run_vals: bool):
+    """Shared core of the compiled segmented folds.
+
+    Parameters mirror the :class:`~repro.ops.segmented.SegmentPlan` fold
+    family: ``orders`` is ``None`` (canonical order for every run), a
+    ``(n_sources,)`` single order (``fold``), or an ``(R, n_sources)``
+    matrix (``fold_runs``); ``vals`` is ``(n_sources, *payload)`` shared
+    or ``(R, n_sources, *payload)`` per-run.  Payload axes are flattened
+    to one contiguous inner dimension.
+    """
+    sfx = _suffix(vals.dtype)
+    if sfx is None:
+        return NotImplemented
+    lib = load_library()
+    vals = np.ascontiguousarray(vals)
+    if per_run_vals:
+        n_runs = vals.shape[0]
+        payload = vals.shape[2:]
+    else:
+        payload = vals.shape[1:]
+        n_runs = 1 if orders is None or orders.ndim == 1 else orders.shape[0]
+    m = int(np.prod(payload, dtype=np.int64)) if payload else 1
+    if m == 0:
+        return NotImplemented  # degenerate payload: let NumPy shape it
+    if orders is None:
+        orders_ptr = _ffi.NULL
+        order = plan.order
+    elif orders.ndim == 1:
+        orders_ptr = _ffi.NULL
+        order = orders
+    else:
+        orders = _i64(orders)
+        orders_ptr = _i64p(orders)
+        order = plan.order
+    order = _i64(order)
+    seg_start = _i64(plan.segment_starts)
+    seg_end = _i64(plan.segment_ends)
+    if init is not None:
+        init = np.ascontiguousarray(init, dtype=vals.dtype)
+        init_ptr = _valp(init)
+    else:
+        init_ptr = _ffi.NULL
+    out = np.empty((n_runs, plan.n_targets) + payload, dtype=vals.dtype)
+    getattr(lib, f"repro_segment_fold_{sfx}")(
+        _valp(vals),
+        int(per_run_vals),
+        orders_ptr,
+        _i64p(order),
+        _i64p(seg_start),
+        _i64p(seg_end),
+        init_ptr,
+        n_runs,
+        plan.n_sources,
+        plan.n_targets,
+        m,
+        plan.k_max,
+        _valp(out),
+    )
+    return out
+
+
+def _stratified_refold(
+    *,
+    seg_start,
+    seg_count,
+    seg_pad,
+    pos_off,
+    keys,
+    order,
+    vals,
+    init_rows,
+    run_of_seg,
+):
+    """Compiled :func:`repro.ops.segmented._stratified_refold` core
+    (``ufunc=np.add`` only; the call site checks)."""
+    sfx = _suffix(vals.dtype)
+    if sfx is None:
+        return NotImplemented
+    lib = load_library()
+    vals = np.ascontiguousarray(vals)
+    per_run = run_of_seg is not None
+    payload = vals.shape[2:] if per_run else vals.shape[1:]
+    m = int(np.prod(payload, dtype=np.int64)) if payload else 1
+    if m == 0:
+        return NotImplemented
+    n_sources = vals.shape[1] if per_run else vals.shape[0]
+    seg_start = _i64(seg_start)
+    seg_count = _i64(seg_count)
+    seg_pad_u8 = np.ascontiguousarray(seg_pad, dtype=np.uint8)
+    pos_off = _i64(pos_off)
+    keys = np.ascontiguousarray(keys, dtype=np.float64)
+    order = _i64(order)
+    n_segs = seg_count.size
+    k_cap = int(seg_count.max()) if n_segs else 0
+    lanes = np.empty(max(k_cap, 1), dtype=np.int64)
+    if init_rows is not None:
+        init_rows = np.ascontiguousarray(init_rows, dtype=vals.dtype)
+        init_ptr = _valp(init_rows)
+    else:
+        init_ptr = _ffi.NULL
+    if per_run:
+        run_of_seg = _i64(run_of_seg)
+        run_ptr = _i64p(run_of_seg)
+    else:
+        run_ptr = _ffi.NULL
+    out = np.empty((n_segs,) + payload, dtype=vals.dtype)
+    getattr(lib, f"repro_stratified_refold_{sfx}")(
+        _valp(vals),
+        int(per_run),
+        run_ptr,
+        _i64p(seg_start),
+        _i64p(seg_count),
+        _u8p(seg_pad_u8),
+        _i64p(pos_off),
+        _f64p(keys),
+        _i64p(order),
+        init_ptr,
+        n_segs,
+        n_sources,
+        m,
+        _i64p(lanes),
+        _valp(out),
+    )
+    return out
+
+
+#: Primitive name -> compiled implementation, consumed by the registry.
+IMPLS = {
+    "permuted_sums": _permuted_sums,
+    "batched_tree_fold": _batched_tree_fold,
+    "batched_atomic_fold": _batched_atomic_fold,
+    "blocked_cumsum": _blocked_cumsum_rows,
+    "segment_fold": _segment_fold,
+    "stratified_refold": _stratified_refold,
+}

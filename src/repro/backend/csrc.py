@@ -1,0 +1,302 @@
+"""C source of the compiled hot-path kernels (cffi ABI mode).
+
+One template, instantiated for ``double``/``f64`` and ``float``/``f32``,
+covering the engine's narrow waist:
+
+* ``repro_permuted_sums_*`` — batched left folds of ``x[perm[r]]``
+  (:func:`repro.fp.summation.permuted_sums`);
+* ``repro_tree_fold_rows_*`` — batched balanced-tree folds
+  (:func:`repro.fp.summation.batched_tree_fold`);
+* ``repro_atomic_fold_*`` — batched retirement-order folds, shared or
+  per-run values (:func:`repro.gpusim.atomics.batched_atomic_fold`);
+* ``repro_blocked_cumsum_*`` — the blocked prefix scan
+  (:func:`repro.ops.cumsum.blocked_cumsum` and the run-batched
+  :func:`repro.ops.cumsum.cumsum_runs`);
+* ``repro_segment_fold_*`` — segmented left folds: canonical or per-run
+  orders, shared or per-run values (:meth:`repro.ops.segmented.
+  SegmentPlan.fold` / ``fold_runs`` / ``fold_runs_values``);
+* ``repro_stratified_refold_*`` — the raced-segment re-fold behind
+  ``fold_runs_sparse`` / ``fold_runs_values``.
+
+Bit-exactness contract
+----------------------
+The kernels MUST reproduce the NumPy engine bit for bit — the FPNA bits
+*are* the science.  Three rules make that hold:
+
+1. **Same operation sequence.**  Every kernel performs exactly the IEEE-754
+   additions of its NumPy twin, in the same association order, in the same
+   operand dtype (``float`` accumulators for f32 inputs — x86-64 SSE single
+   ops round identically to NumPy's), widening to ``double`` only where the
+   NumPy path assigns into a float64 output.
+2. **Identity padding replicated, not skipped.**  The NumPy fold matrices
+   pad short segments with identity slots; folding ``+0.0`` once normalises
+   ``-0.0`` and is then a fixed point, so each kernel folds one explicit
+   identity when (and only when) its NumPy twin folds one or more pads.
+   The compile flags below stop the C compiler from "optimising" such adds
+   away or contracting them.
+3. **Stable sorts are comparison-compatible.**  The raced-segment key sort
+   uses a stable insertion sort whose strict ``>`` comparisons order any
+   key set (ties included) exactly like ``np.argsort(kind="stable")``.
+   (Shuffle keys come from ``rng.random`` per the engine contract, so NaN
+   keys cannot occur.)
+
+``tests/test_backend.py`` fuzzes every kernel against the NumPy engine at
+the bit level (−0.0, inf, NaN payloads, empty/prime sizes), and the whole
+batched↔scalar property suite plus all golden pins run under both
+backends via the ``backend`` fixture.
+
+The source lives as a Python string (rather than a ``.c`` file) so
+:func:`repro.harness.results.code_fingerprint` — which hashes every
+``*.py`` file — automatically covers kernel edits, and so
+:data:`KERNEL_FINGERPRINT` can be derived without filesystem probing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+__all__ = ["CDEF", "CSRC", "CFLAGS", "KERNEL_FINGERPRINT"]
+
+#: Compile flags: no fast-math reassociation, no FMA contraction — the
+#: kernels must execute the literal IEEE-754 adds they spell out.
+CFLAGS = (
+    "-O2",
+    "-fPIC",
+    "-shared",
+    "-fno-fast-math",
+    "-ffp-contract=off",
+)
+
+_DECL_TEMPLATE = """
+void repro_permuted_sums_@S@(const @T@ *x, const int64_t *perms,
+                             int64_t n_runs, int64_t n, double *out);
+void repro_tree_fold_rows_@S@(const @T@ *xs, int64_t n_runs, int64_t n,
+                              int64_t p, @T@ *scratch, double *out);
+void repro_atomic_fold_@S@(const @T@ *x, const int64_t *orders, int per_run,
+                           int64_t n_runs, int64_t n, double *out);
+void repro_blocked_cumsum_@S@(const @T@ *rows, int64_t n_rows, int64_t n,
+                              int64_t chunk, @T@ *out);
+void repro_segment_fold_@S@(const @T@ *vals, int per_run_vals,
+                            const int64_t *orders, const int64_t *order,
+                            const int64_t *seg_start, const int64_t *seg_end,
+                            const @T@ *init, int64_t n_runs,
+                            int64_t n_sources, int64_t n_targets,
+                            int64_t m, int64_t k_max, @T@ *out);
+void repro_stratified_refold_@S@(const @T@ *vals, int per_run_vals,
+                                 const int64_t *run_of_seg,
+                                 const int64_t *seg_start,
+                                 const int64_t *seg_count,
+                                 const uint8_t *seg_pad,
+                                 const int64_t *pos_off, const double *keys,
+                                 const int64_t *order, const @T@ *init_rows,
+                                 int64_t n_segs, int64_t n_sources, int64_t m,
+                                 int64_t *lanes, @T@ *out);
+"""
+
+_KERNEL_TEMPLATE = """
+/* Identity pass-through the optimiser cannot see into.  FP addition is
+   commutative up to NaN payloads, so value numbering may merge
+   `offset + acc` with a just-computed `acc + offset` — same value class,
+   but the merged instruction propagates the *other* operand's payload
+   when both are NaN.  Routing one operand through a volatile slot keeps
+   the two adds distinct, preserving NumPy's first-operand payload rule. */
+static inline @T@ repro_opaque_@S@(@T@ v)
+{
+    volatile @T@ slot = v;
+    return slot;
+}
+
+/* Left fold of x[perm[r]] per row: the accumulate of permuted_sum, without
+   materialising the gathered row or its prefix array. */
+void repro_permuted_sums_@S@(const @T@ *x, const int64_t *perms,
+                             int64_t n_runs, int64_t n, double *out)
+{
+    for (int64_t r = 0; r < n_runs; r++) {
+        const int64_t *p = perms + r * n;
+        @T@ acc = x[p[0]];
+        for (int64_t i = 1; i < n; i++)
+            acc = (@T@)(acc + x[p[i]]);
+        out[r] = (double)acc;
+    }
+}
+
+/* Balanced-tree fold per row: zero-pad to p (a power of two), then the
+   halving loop scratch[i] += scratch[i + half] — the exact per-level adds
+   of batched_tree_fold's lockstep matrix halving. */
+void repro_tree_fold_rows_@S@(const @T@ *xs, int64_t n_runs, int64_t n,
+                              int64_t p, @T@ *scratch, double *out)
+{
+    for (int64_t r = 0; r < n_runs; r++) {
+        memcpy(scratch, xs + r * n, (size_t)n * sizeof(@T@));
+        for (int64_t i = n; i < p; i++)
+            scratch[i] = (@T@)0.0;
+        for (int64_t half = p / 2; half >= 1; half /= 2)
+            for (int64_t i = 0; i < half; i++)
+                scratch[i] = (@T@)(scratch[i] + scratch[i + half]);
+        out[r] = (double)scratch[0];
+    }
+}
+
+/* Sequential retirement-order fold per row; per_run selects row r of a
+   (R, n) values matrix (the CG run batch), else values are shared. */
+void repro_atomic_fold_@S@(const @T@ *x, const int64_t *orders, int per_run,
+                           int64_t n_runs, int64_t n, double *out)
+{
+    for (int64_t r = 0; r < n_runs; r++) {
+        const int64_t *o = orders + r * n;
+        const @T@ *v = per_run ? (x + r * n) : x;
+        @T@ acc = v[o[0]];
+        for (int64_t i = 1; i < n; i++)
+            acc = (@T@)(acc + v[o[i]]);
+        out[r] = (double)acc;
+    }
+}
+
+/* Blocked inclusive scan per row: within-chunk sequential scans, an
+   exclusive sequential scan of chunk totals carried in `offset`, one
+   offset add per element.  Chunk 0 takes no offset add (adding an exact
+   +0.0 would still flip -0.0), and the first chunk total seeds `offset`
+   directly — np.add.accumulate's first element is copied, not added. */
+void repro_blocked_cumsum_@S@(const @T@ *rows, int64_t n_rows, int64_t n,
+                              int64_t chunk, @T@ *out)
+{
+    for (int64_t r = 0; r < n_rows; r++) {
+        const @T@ *row = rows + r * n;
+        @T@ *orow = out + r * n;
+        @T@ offset = (@T@)0.0;
+        for (int64_t c0 = 0; c0 < n; c0 += chunk) {
+            int64_t end = c0 + chunk < n ? c0 + chunk : n;
+            @T@ acc = row[c0];
+            if (c0 == 0) {
+                orow[0] = acc;
+                for (int64_t i = 1; i < end; i++) {
+                    acc = (@T@)(acc + row[i]);
+                    orow[i] = acc;
+                }
+                offset = acc;
+            } else {
+                orow[c0] = (@T@)(acc + offset);
+                for (int64_t i = c0 + 1; i < end; i++) {
+                    acc = (@T@)(acc + row[i]);
+                    orow[i] = (@T@)(acc + offset);
+                }
+                offset = (@T@)(repro_opaque_@S@(offset) + acc);
+            }
+        }
+    }
+}
+
+/* Segmented left fold: for run r, target t, fold slot 0 (init or the 0.0
+   identity) then the contributions at order positions seg_start[t] ..
+   seg_end[t] in ascending position (= rank) order — the exact slot
+   sequence of the NumPy fold matrix.  Short segments fold one trailing
+   identity, standing in for however many identity pads the k_max+1-wide
+   matrix holds (+0.0 normalises -0.0 on the first pad and is then a
+   fixed point).  orders == NULL means every run folds the canonical
+   order; per_run_vals selects row r of (R, n_sources, m) values. */
+void repro_segment_fold_@S@(const @T@ *vals, int per_run_vals,
+                            const int64_t *orders, const int64_t *order,
+                            const int64_t *seg_start, const int64_t *seg_end,
+                            const @T@ *init, int64_t n_runs,
+                            int64_t n_sources, int64_t n_targets,
+                            int64_t m, int64_t k_max, @T@ *out)
+{
+    for (int64_t r = 0; r < n_runs; r++) {
+        const int64_t *ord = orders ? (orders + r * n_sources) : order;
+        const @T@ *v = per_run_vals ? (vals + r * n_sources * m) : vals;
+        @T@ *orow = out + r * n_targets * m;
+        for (int64_t t = 0; t < n_targets; t++) {
+            @T@ *o = orow + t * m;
+            if (init) {
+                memcpy(o, init + t * m, (size_t)m * sizeof(@T@));
+            } else {
+                for (int64_t q = 0; q < m; q++)
+                    o[q] = (@T@)0.0;
+            }
+            int64_t lo = seg_start[t], hi = seg_end[t];
+            for (int64_t p = lo; p < hi; p++) {
+                const @T@ *src = v + ord[p] * m;
+                for (int64_t q = 0; q < m; q++)
+                    o[q] = (@T@)(o[q] + src[q]);
+            }
+            if (hi - lo < k_max) {
+                for (int64_t q = 0; q < m; q++)
+                    o[q] = (@T@)(o[q] + (@T@)0.0);
+            }
+        }
+    }
+}
+
+/* Raced-segment re-fold: stable-sort each segment's lanes by shuffle key
+   (insertion sort == np.argsort(kind="stable") for any key set), then
+   fold init/identity + the key-ordered contributions + one trailing
+   identity when the segment is below its plan's k_max.  `lanes` is
+   caller-provided scratch of at least max(seg_count) int64s. */
+void repro_stratified_refold_@S@(const @T@ *vals, int per_run_vals,
+                                 const int64_t *run_of_seg,
+                                 const int64_t *seg_start,
+                                 const int64_t *seg_count,
+                                 const uint8_t *seg_pad,
+                                 const int64_t *pos_off, const double *keys,
+                                 const int64_t *order, const @T@ *init_rows,
+                                 int64_t n_segs, int64_t n_sources, int64_t m,
+                                 int64_t *lanes, @T@ *out)
+{
+    for (int64_t s = 0; s < n_segs; s++) {
+        int64_t k = seg_count[s];
+        const double *ks = keys + pos_off[s];
+        for (int64_t i = 0; i < k; i++)
+            lanes[i] = i;
+        for (int64_t i = 1; i < k; i++) {
+            int64_t li = lanes[i];
+            double ki = ks[li];
+            int64_t j = i - 1;
+            while (j >= 0 && ks[lanes[j]] > ki) {
+                lanes[j + 1] = lanes[j];
+                j--;
+            }
+            lanes[j + 1] = li;
+        }
+        const @T@ *v =
+            per_run_vals ? (vals + run_of_seg[s] * n_sources * m) : vals;
+        @T@ *o = out + s * m;
+        if (init_rows) {
+            memcpy(o, init_rows + s * m, (size_t)m * sizeof(@T@));
+        } else {
+            for (int64_t q = 0; q < m; q++)
+                o[q] = (@T@)0.0;
+        }
+        int64_t base = seg_start[s];
+        for (int64_t i = 0; i < k; i++) {
+            const @T@ *src = v + order[base + lanes[i]] * m;
+            for (int64_t q = 0; q < m; q++)
+                o[q] = (@T@)(o[q] + src[q]);
+        }
+        if (seg_pad[s]) {
+            for (int64_t q = 0; q < m; q++)
+                o[q] = (@T@)(o[q] + (@T@)0.0);
+        }
+    }
+}
+"""
+
+
+def _instantiate(template: str) -> str:
+    return template.replace("@T@", "double").replace("@S@", "f64") + template.replace(
+        "@T@", "float"
+    ).replace("@S@", "f32")
+
+
+#: cffi ``cdef`` declarations for both dtype instantiations.
+CDEF = _instantiate(_DECL_TEMPLATE)
+
+#: Complete translation unit handed to the C compiler.
+CSRC = "#include <stdint.h>\n#include <string.h>\n" + _instantiate(_KERNEL_TEMPLATE)
+
+#: Identity of the compiled kernels: hashes the source, declarations and
+#: compile flags.  Folded into result-cache keys (a numpy-produced entry
+#: must never alias a compiled one) and into the shared-library filename
+#: (a kernel edit can never load a stale build).
+KERNEL_FINGERPRINT = hashlib.sha256(
+    "\0".join((CDEF, CSRC, " ".join(CFLAGS))).encode()
+).hexdigest()

@@ -62,6 +62,17 @@ per-(device, array) **device planes** of the cross-architecture sweeps
 prefix-stable float32 block rows) — are catalogued in
 :mod:`repro.gpusim.scheduler`'s module docstring.
 
+The fold matrices are also the engine's compiled hot path: when the
+:mod:`repro.backend` registry selects the compiled backend
+(``REPRO_BACKEND=compiled|auto``), :func:`permuted_sums` and
+:func:`batched_tree_fold` dispatch to C kernels implementing the
+**identical accumulation-order contract** — the same strictly sequential
+row scans and lockstep tree levels, in the same f32/f64 intermediate
+widths, with the same −0.0/NaN/inf propagation — so the backends differ
+in wall-clock only, never in bits.  RNG draws are untouched: the backend
+sits strictly below the draw catalogue (orders and permutations are
+sampled before dispatch).
+
 Because every per-run stream is a pure function of ``(seed, run_index)``,
 the run axis also *partitions*: the sharded executor
 (:mod:`repro.harness.parallel`) splits ``R`` runs across worker processes,
@@ -78,6 +89,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import backend as _backend
 from ..errors import ConfigurationError, ShapeError
 
 __all__ = [
@@ -211,6 +223,11 @@ def permuted_sums(x, perms, *, chunk_runs: int | None = None) -> np.ndarray:
         return out
     if pm.size and (pm.min() < 0 or pm.max() >= arr.size):
         raise ConfigurationError("perms contain out-of-range indices")
+    impl = _backend.resolve("permuted_sums")
+    if impl is not None:
+        res = impl(arr, pm)
+        if res is not NotImplemented:
+            return res
     for lo, hi in iter_run_chunks(n_runs, arr.size, chunk_runs=chunk_runs):
         gathered = arr[pm[lo:hi]]  # (chunk, n), contiguous rows
         for r in range(hi - lo):
@@ -277,6 +294,11 @@ def batched_tree_fold(xs, *, chunk_runs: int | None = None) -> np.ndarray:
     if n == 1:
         out[:] = mat[:, 0]
         return out
+    impl = _backend.resolve("batched_tree_fold")
+    if impl is not None:
+        res = impl(mat)
+        if res is not NotImplemented:
+            return res
     p = 1 << (int(n - 1).bit_length())
     for lo, hi in iter_run_chunks(n_runs, p, chunk_runs=chunk_runs):
         buf = np.zeros((hi - lo, p), dtype=mat.dtype)

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import backend as _backend
 from ..errors import SchedulerError
 from ..fp.summation import iter_run_chunks, serial_sum
 
@@ -87,6 +88,11 @@ def batched_atomic_fold(
     if n == 0:
         out.fill(0.0)
         return out
+    impl = _backend.resolve("batched_atomic_fold")
+    if impl is not None:
+        res = impl(arr, om, per_run)
+        if res is not NotImplemented:
+            return res
     # The accumulate must run in the values' own dtype (bit-exactness with
     # the scalar fold).  Rows are independent, so accumulating the whole
     # gathered chunk along axis 1 (in place, eliding the cumsum copies)

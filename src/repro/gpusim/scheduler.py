@@ -142,6 +142,17 @@ path draws per run, in run order, exactly what its scalar twin draws:
   :meth:`repro.ops.segmented.SegmentPlan.sample_run_draws_rngs` — so the
   lockstep runs' weights, losses and logits are bit-identical to a
   scalar train-then-infer loop's.
+
+The compiled backend sits *below* every contract in this catalogue: when
+:mod:`repro.backend` selects the compiled kernels
+(``REPRO_BACKEND=compiled|auto``), the fold primitives the draws feed —
+``permuted_sums``, ``batched_tree_fold``, ``batched_atomic_fold``, the
+blocked cumsum scan and the ``SegmentPlan.fold*`` family — execute in C
+under the **identical accumulation-order contract** (same IEEE-754
+operation sequences, same f32/f64 intermediate widths, same
+−0.0/NaN/inf handling).  No draw moves: orders, permutations, chunk
+choices and raced-segment keys are all sampled before dispatch, so the
+backends differ in wall-clock only, never in bits or stream positions.
 """
 
 from __future__ import annotations

@@ -5,10 +5,11 @@ Usage::
     repro-experiments list
     repro-experiments run table1 [--scale default|paper] [--seed N]
                                  [--workers N] [--json] [--out DIR]
-                                 [--devices NAMES]
+                                 [--devices NAMES] [--backend MODE]
                                  [--no-cache] [--cache-dir DIR]
     repro-experiments run-all [--scale default] [--seed N] [--workers N]
                               [--out DIR] [--devices NAMES]
+                              [--backend MODE]
                               [--no-cache] [--cache-dir DIR]
 
 Device axis: ``--devices v100,gh200,lpu`` overrides the device list of the
@@ -24,12 +25,23 @@ across ``N`` worker processes and merges the shards **bit-exactly** —
 results are identical to serial execution, only faster.  Non-shardable
 experiments run serially regardless of ``--workers``.
 
+Backend: ``--backend numpy|compiled|auto`` (default: the
+``REPRO_BACKEND`` environment variable, else ``auto``) selects the
+compute backend under the fold primitives.  ``compiled`` runs the cffi C
+kernels (:mod:`repro.backend`) and fails loudly when the toolchain is
+missing; ``auto`` uses them when available and falls back to NumPy
+silently; ``numpy`` pins the pure-NumPy engine.  Backends are
+**bit-identical** — same accumulation orders, same intermediate widths —
+so the flag changes wall-clock, never results.  Worker processes inherit
+the selection through the pool initializer.
+
 Caching: results are content-addressed by (experiment id, scale, seed,
-code fingerprint) and reused from ``--cache-dir`` (default:
-``$REPRO_CACHE_DIR`` or ``~/.cache/repro-experiments``); ``run`` /
-``run-all`` skip cache hits and ``--no-cache`` forces recomputation.
-Any source edit changes the fingerprint, so stale results are never
-served.
+code fingerprint, backend identity) and reused from ``--cache-dir``
+(default: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-experiments``);
+``run`` / ``run-all`` skip cache hits and ``--no-cache`` forces
+recomputation.  Any source edit changes the fingerprint, so stale
+results are never served; backend identity keeps numpy-produced and
+compiled-produced entries on distinct keys.
 """
 
 from __future__ import annotations
@@ -39,6 +51,7 @@ import os
 import sys
 from pathlib import Path
 
+from .. import backend as _backend
 from ..errors import ConfigurationError, ReproError
 from ..experiments import get_experiment, list_experiments, to_json, to_markdown
 from ..gpusim.device import get_device
@@ -75,6 +88,13 @@ def _add_run_options(p: argparse.ArgumentParser) -> None:
         "overrides single-device experiments; run-all applies the list "
         "where it fits (device-axis experiments always, single-device "
         "experiments only for a single name) and leaves the rest untouched",
+    )
+    p.add_argument(
+        "--backend", default=None, choices=_backend.MODES,
+        help="compute backend under the fold primitives (default: "
+        "$REPRO_BACKEND or auto); backends are bit-identical — compiled "
+        "kernels replay the exact NumPy accumulation orders — so this "
+        "changes wall-clock, never results",
     )
     p.add_argument(
         "--no-cache", action="store_true",
@@ -163,6 +183,8 @@ def main(argv: list[str] | None = None) -> int:
                 exp = get_experiment(eid)
                 print(f"{eid:10s} {exp.title}")
             return 0
+        if getattr(args, "backend", None):
+            _backend.set_backend(args.backend)
         cache = None
         if not args.no_cache:
             cache = ResultCache(args.cache_dir or default_cache_dir())

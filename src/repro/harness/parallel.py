@@ -33,6 +33,7 @@ import multiprocessing
 import os
 import time
 
+from .. import backend as _backend
 from ..errors import ExperimentError
 from ..experiments.base import Experiment, ExperimentResult, get_experiment
 from ..experiments.sharding import plan_shards
@@ -51,6 +52,19 @@ def default_workers() -> int:
         return max(1, int(raw))
     except ValueError:
         return 1
+
+
+def _worker_initializer(backend_mode: str) -> None:
+    """Pool initializer: forward the parent's backend selection.
+
+    ``spawn`` workers re-import the library with a fresh environment, so a
+    parent whose backend was selected via :func:`repro.backend.set_backend`
+    (e.g. the CLI ``--backend`` flag) would otherwise shard under a
+    different backend than it merges under.  Bits are backend-invariant,
+    but the selection contract — and cache-key hygiene — must hold in every
+    process of the pool.
+    """
+    _backend.set_backend(backend_mode)
 
 
 def _shard_task(task: tuple) -> dict:
@@ -91,7 +105,11 @@ class ShardedExecutor:
     def _get_pool(self):
         if self._pool is None:
             mp_ctx = multiprocessing.get_context(self._start_method)
-            self._pool = mp_ctx.Pool(processes=self.workers)
+            self._pool = mp_ctx.Pool(
+                processes=self.workers,
+                initializer=_worker_initializer,
+                initargs=(_backend.backend_mode(),),
+            )
         return self._pool
 
     def close(self) -> None:

@@ -8,11 +8,17 @@ run.
 
 The cache (:class:`ResultCache`) is content-addressed: the key is the
 SHA-256 of ``(experiment id, scale, seed, parameter overrides, code
-fingerprint)``, where the code fingerprint hashes every ``*.py`` file of
-the installed ``repro`` package (:func:`code_fingerprint`).  Experiments
-are pure functions of that tuple — results are replayable from the master
-seed — so a cache hit is bit-exactly the result a recompute would
-produce, and any source change invalidates every key at once.  Corrupted
+fingerprint, backend identity)``, where the code fingerprint hashes every
+``*.py`` file of the installed ``repro`` package (:func:`code_fingerprint`)
+and the backend identity names the resolved compute backend plus — for the
+compiled backend — the kernel-source fingerprint
+(:func:`repro.backend.cache_identity`).  Experiments are pure functions of
+that tuple — results are replayable from the master seed — so a cache hit
+is bit-exactly the result a recompute would produce, and any source change
+invalidates every key at once.  Backends produce identical bits, but key
+hygiene must not depend on that: a numpy-produced entry is never served to
+a compiled run (or vice versa), and a kernel-source edit invalidates every
+compiled key.  Corrupted
 or mismatched entries are treated as misses (with a warning), never as
 errors.
 """
@@ -201,6 +207,8 @@ def cache_key(
     list, NumPy scalar vs Python scalar) and non-serialisable values fail
     loudly instead of keying on their repr.
     """
+    from .. import backend as _backend
+
     doc = {
         "experiment_id": experiment_id,
         "scale": scale,
@@ -209,6 +217,7 @@ def cache_key(
             k: _canonical_override(v, k) for k, v in (overrides or {}).items()
         },
         "code_fingerprint": fingerprint or code_fingerprint(),
+        "backend": _backend.cache_identity(),
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode()).hexdigest()

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import backend as _backend
 from ..errors import ConfigurationError, ShapeError
 
 __all__ = ["SegmentPlan", "segmented_fold"]
@@ -127,6 +128,22 @@ def _stratified_refold(
     numpy.ndarray
         ``(S, *payload)`` folded segment values.
     """
+    if ufunc is np.add:
+        impl = _backend.resolve("stratified_refold")
+        if impl is not None:
+            res = impl(
+                seg_start=seg_start,
+                seg_count=seg_count,
+                seg_pad=seg_pad,
+                pos_off=pos_off,
+                keys=keys,
+                order=order,
+                vals=vals,
+                init_rows=init_rows,
+                run_of_seg=run_of_seg,
+            )
+            if res is not NotImplemented:
+                return res
     payload = vals.shape[2:] if run_of_seg is not None else vals.shape[1:]
     dtype = vals.dtype
     folded = np.empty((seg_count.size,) + payload, dtype=dtype)
@@ -398,15 +415,29 @@ class SegmentPlan:
 
         if order is None:
             order = self.order
-        vals_sorted = vals[order].astype(dtype, copy=False)
-
-        mat = np.full((self.n_targets, self.k_max + 1) + payload, identity, dtype=dtype)
+        init_arr = None
         if init is not None:
             init_arr = np.asarray(init, dtype=dtype)
             if init_arr.shape != (self.n_targets,) + payload:
                 raise ShapeError(
                     f"init shape {init_arr.shape} != {(self.n_targets,) + payload}"
                 )
+        if ufunc is np.add:
+            impl = _backend.resolve("segment_fold")
+            if impl is not None:
+                res = impl(
+                    self,
+                    vals.astype(dtype, copy=False),
+                    np.asarray(order),
+                    init_arr,
+                    per_run_vals=False,
+                )
+                if res is not NotImplemented:
+                    return res[0]
+        vals_sorted = vals[order].astype(dtype, copy=False)
+
+        mat = np.full((self.n_targets, self.k_max + 1) + payload, identity, dtype=dtype)
+        if init_arr is not None:
             mat[:, 0] = init_arr
         if self.n_sources:
             mat[self.sorted_targets, self.ranks + 1] = vals_sorted
@@ -481,6 +512,12 @@ class SegmentPlan:
                 raise ShapeError(
                     f"init shape {init_arr.shape} != {(self.n_targets,) + payload}"
                 )
+        if ufunc is np.add:
+            impl = _backend.resolve("segment_fold")
+            if impl is not None:
+                res = impl(self, vals, om, init_arr, per_run_vals=False)
+                if res is not NotImplemented:
+                    return res
         out = np.empty((n_runs, self.n_targets) + payload, dtype=dtype)
         elems_per_run = self.n_targets * (self.k_max + 1) * int(np.prod(payload, dtype=np.int64) or 1)
         for lo, hi in iter_run_chunks(n_runs, elems_per_run, chunk_runs=chunk_runs):
@@ -659,21 +696,29 @@ class SegmentPlan:
                 raise ShapeError(
                     f"init shape {init_arr.shape} != {(self.n_targets,) + payload}"
                 )
-        out = np.empty((n_runs, self.n_targets) + payload, dtype=dtype)
-        elems_per_run = (
-            self.n_targets * (self.k_max + 1)
-            * int(np.prod(payload, dtype=np.int64) or 1)
-        )
-        for lo, hi in iter_run_chunks(n_runs, elems_per_run, chunk_runs=chunk_runs):
-            chunk = hi - lo
-            mat = np.full(
-                (chunk, self.n_targets, self.k_max + 1) + payload, identity, dtype=dtype
+        out = None
+        if ufunc is np.add:
+            impl = _backend.resolve("segment_fold")
+            if impl is not None:
+                res = impl(self, vals, None, init_arr, per_run_vals=True)
+                if res is not NotImplemented:
+                    out = res
+        if out is None:
+            out = np.empty((n_runs, self.n_targets) + payload, dtype=dtype)
+            elems_per_run = (
+                self.n_targets * (self.k_max + 1)
+                * int(np.prod(payload, dtype=np.int64) or 1)
             )
-            if init_arr is not None:
-                mat[:, :, 0] = init_arr
-            if self.n_sources:
-                mat[:, self.sorted_targets, self.ranks + 1] = vals[lo:hi][:, self.order]
-            out[lo:hi] = _fold_axis(mat, ufunc, axis=2)
+            for lo, hi in iter_run_chunks(n_runs, elems_per_run, chunk_runs=chunk_runs):
+                chunk = hi - lo
+                mat = np.full(
+                    (chunk, self.n_targets, self.k_max + 1) + payload, identity, dtype=dtype
+                )
+                if init_arr is not None:
+                    mat[:, :, 0] = init_arr
+                if self.n_sources:
+                    mat[:, self.sorted_targets, self.ranks + 1] = vals[lo:hi][:, self.order]
+                out[lo:hi] = _fold_axis(mat, ufunc, axis=2)
         if draws is None:
             return out
         seg_targets, seg_runs, keys = _concat_draws(draws)

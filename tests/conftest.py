@@ -70,3 +70,25 @@ def _isolated_result_cache(tmp_path, monkeypatch):
     """Point the CLI result cache at a per-test directory so tests never
     read or write the user's ``~/.cache/repro-experiments``."""
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
+@pytest.fixture(params=["numpy", "compiled"])
+def backend(request) -> str:
+    """Run the consuming test once per compute backend.
+
+    The engine's bit-exactness suites (``test_batched_engine.py``,
+    ``test_golden_experiments.py``) parametrize over this fixture so every
+    equivalence property and golden pin is enforced under both the NumPy
+    engine and the compiled kernels.  The compiled leg skips (not passes)
+    when the toolchain is unavailable, so a broken build surfaces as
+    skips, never as silently testing NumPy twice.
+    """
+    from repro import backend as repro_backend
+
+    mode = request.param
+    if mode == "compiled" and not repro_backend.compiled_available():
+        pytest.skip(
+            f"compiled backend unavailable: {repro_backend.availability_error()}"
+        )
+    with repro_backend.use_backend(mode):
+        yield mode

@@ -50,6 +50,16 @@ SIZES = (0, 1, 7, 64, 1000)
 DTYPES = (np.float32, np.float64)
 
 
+@pytest.fixture(autouse=True)
+def _both_backends(backend):
+    """Every equivalence property in this file runs once per compute
+    backend (see the ``backend`` fixture in ``conftest.py``): the
+    batched↔scalar contract must hold under the NumPy engine and under the
+    compiled kernels alike — and because the scalar reference paths stay
+    on NumPy for sizes outside the compiled envelope, the compiled leg
+    also pins compiled-vs-NumPy bit parity."""
+
+
 def make_launch(nb=64, tpb=64, device="v100"):
     return LaunchConfig(device=get_device(device), n_blocks=nb, threads_per_block=tpb)
 
