@@ -144,6 +144,48 @@ def main() -> None:
         same = np.array_equal(sums_np.view(np.int64), sums_c.view(np.int64))
         print(f"permuted_sums numpy vs compiled: bit-identical = {same}")
 
+    # -- 8. declared axis products: warp sweeps + seed ensembles ------------
+    # Experiments declare their axis product (config x array x device x
+    # seed x run) once as Experiment.axes; the sweep planner derives the
+    # ladder layout, shard windows, merge tags and cache cells from the
+    # declaration (repro.experiments.axes).  Two consumers:
+    #
+    # (a) warpsweep — the warp-32-vs-64 device ablation.  Both profiles
+    # draw IDENTICAL per-(array, run) streams from one shared device
+    # plane, so every difference below is warp retirement granularity.
+    warp = get_experiment("warpsweep").run(
+        ctx=repro.RunContext(seed=0),
+        n_elements=1_024, n_arrays=2, n_runs=60,
+    )
+    print("\nAO Vs under the warp-width ablation (shared stream plane):")
+    for row in warp.rows:
+        print(f"  {row['device']:>7s} (warp={row['warp_size']:2d})  "
+              f"Vs std = {row['vs_std_x1e16']:.2f}e-16  "
+              f"distinct Vs/array = {row['distinct_vs_per_array']:.1f}")
+    frac = warp.extra["pair_bitwise_divergence_fraction"]
+    print(f"  cells where the pair diverges bitwise: {frac:.0%}")
+
+    # (b) seedens — seed promoted to a shardable ensemble axis: one
+    # invocation evaluates an (N seeds x N devices) grid, each member in
+    # its own child context, each (seed, device) cell bit-identical to
+    # figS1 at that seed/device.  The CLI caches every cell separately
+    # (growing the grid recomputes only new cells).  CLI equivalent:
+    #
+    #   repro-experiments run seedens --devices v100,mi250x,lpu
+    #
+    ens = get_experiment("seedens").run(
+        ctx=repro.RunContext(seed=0),
+        seeds=(0, 1, 2), devices=("v100", "lpu"),
+        n_elements=10_000, n_arrays=2, n_runs=40,
+    )
+    print("\nseed-ensemble grid (3 seeds x 2 devices, one invocation):")
+    for row in ens.rows:
+        print(f"  seed {row['seed']}  {row['device']:>5s}  "
+              f"Vs std = {row['vs_std_x1e16']:.2f}e-16")
+    for dev, s in ens.extra["per_device"].items():
+        print(f"  {dev}: member spread of Vs std = "
+              f"{s['member_spread_x1e16']:.2f}e-16 over {s['n_members']} seeds")
+
 
 if __name__ == "__main__":
     main()

@@ -19,6 +19,8 @@ fig5       Fig 5 — Vermv vs reduction ratio
 maxvs      §III-C — Max |Vs| power-law fit
 figS1      supplementary — SPA Vs across GPU families (paper repo artifact)
 cgdiv      extension — CG iterate divergence (§I narrative)
+warpsweep  extension — AO variability under the warp-32/64 ablation pair
+seedens    extension — seed-ensemble SPA Vs grid (seeds x devices)
 =========  ==================================================================
 
 Run from Python::
@@ -52,6 +54,8 @@ from . import (  # noqa: F401
     maxvs,
     figs_devices,
     cgdiv,
+    warp_sweep,
+    seed_ensemble,
 )
 
 __all__ = [

@@ -55,6 +55,7 @@ __all__ = [
     "spa_vs_samples_devices",
     "ao_vs_samples",
     "ao_vs_samples_arrays",
+    "ao_vs_samples_devices",
 ]
 
 
@@ -319,6 +320,69 @@ def ao_vs_samples_arrays(
             arr_of_run = np.arange(lo, hi) // max(n_runs, 1)
             sums[lo:hi] = batched_atomic_fold(xs[arr_of_run], orders)
     return scalar_variability_many(sums.reshape(n_arrays, n_runs), s_d[:, None])
+
+
+def ao_vs_samples_devices(
+    xs: np.ndarray,
+    n_runs: int,
+    ctx: RunContext,
+    *,
+    devices,
+    threads_per_block: int = 64,
+    run_lo: int = 0,
+    run_hi: int | None = None,
+    anchor: int = 0,
+    plane: str | None = None,
+) -> dict[str, np.ndarray]:
+    """``Vs`` of AO sums of every row of ``xs`` on every device at once.
+
+    The AO twin of :func:`spa_vs_samples_devices`, with a **run-granular
+    device-plane layout**: cell ``(a, r)`` of a device's grid draws its
+    retirement order from its own anchored stream,
+    ``ctx.device_stream(plane_name, cell=a * n_runs + r, anchor=anchor)``
+    — one stream per (array, run) rather than per (array).  Because no
+    two runs share a stream, any ``[run_lo, run_hi)`` window is
+    bit-identical to slicing the full sweep by construction (no
+    prefix-stable row discipline needed), which is the shard derivation.
+
+    ``plane`` names the device plane the streams come from; it defaults
+    to the device's own name.  A **shared** plane across devices gives
+    every device identical stream draws for identical cells — the
+    warp-ablation contract: two devices differing only in warp size then
+    produce orders from the same raw sequence and diverge only in
+    retirement granularity (pinned in ``tests/test_device_axis.py``).
+
+    Returns
+    -------
+    dict
+        ``{device_name: (A, run_hi - run_lo) float64 Vs}`` in the order
+        of ``devices``.
+    """
+    xs = np.asarray(xs)
+    n_arrays, _ = xs.shape
+    if run_hi is None:
+        run_hi = n_runs
+    if not 0 <= run_lo <= run_hi <= n_runs:
+        raise ValueError(
+            f"run window [{run_lo}, {run_hi}) outside [0, {n_runs})"
+        )
+    window = run_hi - run_lo
+    out: dict[str, np.ndarray] = {}
+    for device in devices:
+        dev = get_device(device)
+        name = plane or device
+        rngs = [
+            ctx.device_stream(name, a * n_runs + r, anchor=anchor)
+            for a in range(n_arrays)
+            for r in range(run_lo, run_hi)
+        ]
+        out[device] = ao_vs_samples_arrays(
+            xs, window, ctx,
+            device=device,
+            threads_per_block=min(threads_per_block, dev.max_threads_per_block),
+            rngs=rngs,
+        )
+    return out
 
 
 def ao_vs_samples(

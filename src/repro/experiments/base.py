@@ -19,15 +19,18 @@ import abc
 import time
 from dataclasses import dataclass, field
 
-from ..errors import ExperimentError
+from ..errors import ConfigurationError, ExperimentError
 from ..runtime import RunContext
+from .axes import AxisSpec, plan_sweep
 from .sharding import ShardAxis, merge_payloads
 
 __all__ = [
     "ExperimentResult",
     "Experiment",
     "ShardableExperiment",
+    "AxisSpec",
     "ShardAxis",
+    "plan_sweep",
     "register",
     "get_experiment",
     "list_experiments",
@@ -99,11 +102,52 @@ class Experiment(abc.ABC):
     experiment_id: str
     title: str
 
-    #: Shardable run axes (empty = serial-only).  Declaring an axis states
-    #: that :meth:`shard_run` over any partition of ``params[axis.param]``
-    #: merges (via the :mod:`~repro.experiments.sharding` protocol) into
-    #: the bit-exact serial payload.
-    shardable_axes: tuple[ShardAxis, ...] = ()
+    #: Declared axis product (run x device x array x config x seed) in
+    #: ladder-nesting order — see :mod:`repro.experiments.axes`.  The
+    #: planner (:func:`~repro.experiments.axes.plan_sweep`) derives shard
+    #: windows, stream-ladder bases, merge tags and cache-cell keys from
+    #: this declaration; empty means the experiment predates declarations
+    #: (it may still declare legacy ``shardable_axes`` directly).
+    axes: tuple[AxisSpec, ...] = ()
+
+    @property
+    def shardable_axes(self) -> tuple[ShardAxis, ...]:
+        """Shardable run axes (empty = serial-only), derived from the axis
+        declaration.  Declaring an axis states that :meth:`shard_run` over
+        any partition of it merges (via the
+        :mod:`~repro.experiments.sharding` protocol) into the bit-exact
+        serial payload.  Legacy experiments without ``axes`` shadow this
+        property with a plain ``shardable_axes`` class attribute.
+        """
+        return tuple(
+            ShardAxis(s.param, s.min_per_shard)
+            for s in self.axes
+            if s.shardable and s.param is not None
+        )
+
+    def axis_values(self, spec: AxisSpec, params: dict):
+        """Resolve one declared axis against a parameter set.
+
+        Returns an ``int`` size or a value sequence.  The default reads
+        ``spec.values`` / ``params[spec.param]``; experiments with
+        computed axes (e.g. a sweep-cell grid derived from several
+        parameters) override this for those axes.
+        """
+        if spec.values is not None:
+            return spec.values
+        if spec.param is not None:
+            value = params[spec.param]
+            if isinstance(value, bool):
+                raise ConfigurationError(
+                    f"axis {spec.name!r}: parameter {spec.param!r} is a bool"
+                )
+            if isinstance(value, int):
+                return value
+            return tuple(value)
+        raise ConfigurationError(
+            f"axis {spec.name!r} of {self.experiment_id!r} has no param or "
+            "values; the experiment must override axis_values for it"
+        )
 
     @abc.abstractmethod
     def params_for(self, scale: str) -> dict:
@@ -160,6 +204,28 @@ class Experiment(abc.ABC):
             f"experiment {self.experiment_id!r} does not implement finalize"
         )
 
+    # ------------------------------------------------------- cache cells
+    def cache_cells(self, scale: str, seed: int, overrides: dict) -> list[dict] | None:
+        """Decompose one invocation into independently cacheable cells.
+
+        Returns a list of per-cell override dicts (each a complete
+        invocation of this experiment whose result is one grid cell), or
+        ``None`` when the invocation does not decompose.  Derived from
+        the axis declaration for seed-ensemble experiments
+        (:meth:`~repro.experiments.axes.SweepPlan.cache_cells`); the
+        default is monolithic.
+        """
+        return None
+
+    def combine_cells(
+        self, scale: str, params: dict, seed: int, results: list[ExperimentResult]
+    ) -> ExperimentResult:
+        """Reassemble per-cell results (in :meth:`cache_cells` order)
+        into the full-grid result, bit-identical to a monolithic run."""
+        raise ExperimentError(
+            f"experiment {self.experiment_id!r} does not implement combine_cells"
+        )
+
     def run(self, *, scale: str = "default", ctx: RunContext | None = None, **overrides) -> ExperimentResult:
         """Run the experiment.
 
@@ -203,12 +269,34 @@ class ShardableExperiment(Experiment):
     (:mod:`repro.gpusim.scheduler`).
     """
 
-    def _run(self, ctx: RunContext, params: dict) -> tuple[list[dict], str, dict]:
+    def shard_total(self, params: dict) -> int:
+        """Size of the shard axis for one parameter set.
+
+        Declared experiments consult the planner (which also validates the
+        declaration — multi-shardable products are rejected there); legacy
+        experiments read their single ``ShardAxis`` parameter.
+        """
+        if self.axes:
+            axis = plan_sweep(self, params).shard_axis
+            if axis is None:
+                raise ExperimentError(
+                    f"{type(self).__name__} declares no shardable axis"
+                )
+            return axis.size
         if not self.shardable_axes:
             raise ExperimentError(
                 f"{type(self).__name__} must declare shardable_axes"
             )
-        total = int(params[self.shardable_axes[0].param])
+        if len(self.shardable_axes) > 1:
+            raise ExperimentError(
+                f"{type(self).__name__} declares {len(self.shardable_axes)} "
+                "shardable axes; exactly one is supported — declare the "
+                "product via Experiment.axes instead"
+            )
+        return int(params[self.shardable_axes[0].param])
+
+    def _run(self, ctx: RunContext, params: dict) -> tuple[list[dict], str, dict]:
+        total = self.shard_total(params)
         payload = self.merge_shards(params, [self.shard_run(ctx, params, 0, total)])
         return self.finalize(ctx, params, payload)
 

@@ -20,18 +20,28 @@ from ..solvers import (
     iterate_divergence,
     spd_test_matrix,
 )
-from .base import ShardAxis, ShardableExperiment, register
+from .axes import AxisSpec, plan_sweep
+from .base import ShardableExperiment, register
 from .sharding import RunList
 
 __all__ = ["CgDivergence"]
 
 
 class CgDivergence(ShardableExperiment):
-    """CG error-accumulation study (extension; paper SI narrative)."""
+    """CG error-accumulation study (extension; paper SI narrative).
+
+    Axis declaration: (phase x run) — the divergence solves own the first
+    ``n_runs`` ladder streams, the tolerance solves the next ``n_runs``,
+    exactly the block bases
+    :meth:`~repro.experiments.axes.SweepPlan.run_block_base` derives.
+    """
 
     experiment_id = "cgdiv"
     title = "Extension: conjugate-gradient iterate divergence under FPNA"
-    shardable_axes = (ShardAxis("n_runs"),)
+    axes = (
+        AxisSpec("phase", "config", values=("divergence", "tolerance")),
+        AxisSpec("run", "run", param="n_runs", shardable=True),
+    )
 
     def params_for(self, scale: str) -> dict:
         # threads_per_block is small so even short vectors split into
@@ -51,21 +61,20 @@ class CgDivergence(ShardableExperiment):
     def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
         A, b = self._system(ctx, params)
         spa = get_reduction("spa", threads_per_block=params["threads_per_block"])
-        n_runs = params["n_runs"]
+        plan = plan_sweep(self, params)
         # Batched run-axis engine: all solves advance in lockstep (one
         # scheduler stream per run; converged runs freeze).  The serial
-        # stream ladder (relative to the context's position at entry) is:
-        # divergence solves on streams [0, n_runs), then the tolerance
-        # solves on [n_runs, 2*n_runs) — each shard seeks to its window of
-        # both blocks (the deterministic contrast solves draw nothing and
-        # move to finalize).
+        # stream ladder (relative to the context's position at entry) is
+        # one n_runs block per declared phase — each shard seeks to its
+        # window of both blocks (the deterministic contrast solves draw
+        # nothing and move to finalize).
         base = ctx.peek_run_counter()
-        ctx.seek_runs(base + lo)
+        ctx.seek_runs(plan.run_block_base(base, phase=0) + lo)
         div_runs = conjugate_gradient_runs(
             A, b, hi - lo, reduction=spa, tol=0.0, max_iter=params["n_iter"],
             track_iterates=True, ctx=ctx,
         )
-        ctx.seek_runs(base + n_runs + lo)
+        ctx.seek_runs(plan.run_block_base(base, phase=1) + lo)
         tol_runs = conjugate_gradient_runs(
             A, b, hi - lo, reduction=spa, tol=params["tol"], ctx=ctx
         )

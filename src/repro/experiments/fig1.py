@@ -12,7 +12,8 @@ import numpy as np
 
 from ..metrics.distribution import estimate_pdf, normality_report
 from ..runtime import RunContext
-from .base import ShardAxis, ShardableExperiment, register
+from .axes import AxisSpec, plan_sweep
+from .base import ShardableExperiment, register
 from .sharding import RunConcat
 from ._sumdist import sample_array, spa_vs_samples_arrays
 
@@ -22,17 +23,23 @@ __all__ = ["Fig1SpaPdf"]
 class Fig1SpaPdf(ShardableExperiment):
     """Regenerates Fig 1 (SPA Vs PDFs on the V100 model).
 
-    Sharding: the serial ladder is one block of ``n_arrays * n_runs``
-    scheduler streams per distribution, array-major.  A shard pre-draws
-    its run window of every array's sub-block (``seek`` + ``scheduler``)
-    and hands the explicit streams to the batched pass, so its ``(A, r)``
-    Vs slab is bit-identical to columns ``[lo, hi)`` of the serial
-    ``(A, R)`` matrix.
+    Axis declaration: (distribution x array x run) in ladder-nesting
+    order — the serial ladder is one block of ``n_runs`` scheduler
+    streams per (distribution, array) coordinate, row-major, exactly
+    the layout :meth:`~repro.experiments.axes.SweepPlan.run_block_base`
+    derives.  A shard pre-draws its run window of every coordinate's
+    block (``seek`` + ``scheduler``) and hands the explicit streams to
+    the batched pass, so its ``(A, r)`` Vs slab is bit-identical to
+    columns ``[lo, hi)`` of the serial ``(A, R)`` matrix.
     """
 
     experiment_id = "fig1"
     title = "Fig 1: PDF of Vs for SPA sums, normal and uniform inputs (V100)"
-    shardable_axes = (ShardAxis("n_runs"),)
+    axes = (
+        AxisSpec("distribution", "config", values=("uniform", "normal")),
+        AxisSpec("array", "array", param="n_arrays"),
+        AxisSpec("run", "run", param="n_runs", shardable=True),
+    )
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":
@@ -48,12 +55,16 @@ class Fig1SpaPdf(ShardableExperiment):
         }
 
     def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
-        n_arrays, n_runs, r = params["n_arrays"], params["n_runs"], hi - lo
+        plan = plan_sweep(self, params)
+        n_arrays, r = params["n_arrays"], hi - lo
         payload: dict = {}
-        # Per-distribution stream-block origin, anchored at the context's
-        # ladder position on entry (reused contexts keep continuing).
+        # Stream-block arithmetic comes from the axis declaration,
+        # anchored at the context's ladder position on entry (reused
+        # contexts keep continuing).
         base = ctx.peek_run_counter()
-        for stream, dist in enumerate(("uniform", "normal"), start=21):
+        for stream, (d, dist) in zip(
+            (21, 22), enumerate(plan.axis("distribution").values)
+        ):
             # NB: a fixed stream id per distribution — hash() would be
             # process-randomised and break replayability.
             data_rng = ctx.data(stream=stream)
@@ -63,12 +74,11 @@ class Fig1SpaPdf(ShardableExperiment):
             ])
             # One (arrays, runs, n) pass on the batched engine — the
             # orders are drawn array-major in run order, bit-identical to
-            # the per-array loop this replaces.  Array a's serial streams
-            # are [base + a*n_runs, base + (a+1)*n_runs); pre-draw each
-            # array's [lo, hi) window explicitly.
+            # the per-array loop this replaces; pre-draw each block's
+            # [lo, hi) window explicitly.
             rngs = []
             for a in range(n_arrays):
-                ctx.seek_runs(base + a * n_runs + lo)
+                ctx.seek_runs(plan.run_block_base(base, distribution=d, array=a) + lo)
                 rngs.extend(ctx.scheduler() for _ in range(r))
             vs_mat = spa_vs_samples_arrays(
                 xs, r, ctx,
@@ -77,9 +87,8 @@ class Fig1SpaPdf(ShardableExperiment):
                 n_blocks=params["n_blocks"],
                 rngs=rngs,
             )
-            payload[dist] = RunConcat(vs_mat, axis=1)
-            base += n_arrays * n_runs
-        ctx.seek_runs(base)
+            payload[dist] = RunConcat(vs_mat, axis=plan.merge_axis("array", "run"))
+        ctx.seek_runs(base + plan.ladder_span())
         return payload
 
     def finalize(self, ctx: RunContext, params: dict, payload: dict):

@@ -14,7 +14,8 @@ import numpy as np
 
 from ..metrics.distribution import estimate_pdf, normality_report
 from ..runtime import RunContext
-from .base import ShardAxis, ShardableExperiment, register
+from .axes import AxisSpec, plan_sweep
+from .base import ShardableExperiment, register
 from .sharding import RunConcat
 from ._sumdist import ao_vs_samples_arrays, sample_array, spa_vs_samples_arrays
 
@@ -24,18 +25,23 @@ __all__ = ["Fig2AoPdf"]
 class Fig2AoPdf(ShardableExperiment):
     """Regenerates Fig 2 (AO Vs PDF, uniform inputs, V100 model).
 
-    Sharding: the serial ladder interleaves per array — ``n_runs`` AO
-    streams then ``n_runs`` SPA streams — so array ``a``'s AO sub-block
-    starts at ``base + a * 2 * n_runs`` and its SPA sub-block ``n_runs``
-    later.  A shard pre-draws its run window of every sub-block
-    (``seek`` + ``scheduler``) and hands the explicit streams to the
-    batched passes, reproducing the serial ``(A, R)`` Vs matrices
-    column-window by column-window, bit for bit.
+    Axis declaration: (array x impl x run) in ladder-nesting order — the
+    serial ladder interleaves per array, ``n_runs`` AO streams then
+    ``n_runs`` SPA streams, exactly the row-major block layout
+    :meth:`~repro.experiments.axes.SweepPlan.run_block_base` derives.  A
+    shard pre-draws its run window of every sub-block (``seek`` +
+    ``scheduler``) and hands the explicit streams to the batched passes,
+    reproducing the serial ``(A, R)`` Vs matrices column-window by
+    column-window, bit for bit.
     """
 
     experiment_id = "fig2"
     title = "Fig 2: PDF of Vs for AO sums, uniform inputs (V100)"
-    shardable_axes = (ShardAxis("n_runs"),)
+    axes = (
+        AxisSpec("array", "array", param="n_arrays"),
+        AxisSpec("impl", "config", values=("AO", "SPA")),
+        AxisSpec("run", "run", param="n_runs", shardable=True),
+    )
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":
@@ -53,37 +59,39 @@ class Fig2AoPdf(ShardableExperiment):
         }
 
     def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
+        plan = plan_sweep(self, params)
         data_rng = ctx.data(stream=7)
-        n_arrays, n_runs, r = params["n_arrays"], params["n_runs"], hi - lo
+        n_arrays, r = params["n_arrays"], hi - lo
         base = ctx.peek_run_counter()
         # Draw the inputs in the exact order the per-array loop consumed
         # them (per array: the AO input, then the SPA input), and each
-        # sub-block's [lo, hi) stream window explicitly, so the batched
-        # (arrays, runs, n) passes reproduce the serial bits.
+        # sub-block's [lo, hi) stream window explicitly (block bases from
+        # the axis declaration), so the batched (arrays, runs, n) passes
+        # reproduce the serial bits.
         xs: dict[str, list] = {"AO": [], "SPA": []}
         run_rngs: dict[str, list] = {"AO": [], "SPA": []}
         for a in range(n_arrays):
             xs["AO"].append(sample_array(data_rng, params["n_elements"], "uniform"))
             xs["SPA"].append(sample_array(data_rng, params["spa_n_elements"], "uniform"))
-            ctx.seek_runs(base + a * 2 * n_runs + lo)
-            run_rngs["AO"].extend(ctx.scheduler() for _ in range(r))
-            ctx.seek_runs(base + a * 2 * n_runs + n_runs + lo)
-            run_rngs["SPA"].extend(ctx.scheduler() for _ in range(r))
+            for i, name in enumerate(plan.axis("impl").values):
+                ctx.seek_runs(plan.run_block_base(base, array=a, impl=i) + lo)
+                run_rngs[name].extend(ctx.scheduler() for _ in range(r))
+        vs_axis = plan.merge_axis("array", "run")
         payload = {
             "AO": RunConcat(ao_vs_samples_arrays(
                 np.stack(xs["AO"]), r, ctx,
                 device=params["device"],
                 threads_per_block=params["threads_per_block"],
                 rngs=run_rngs["AO"],
-            ), axis=1),
+            ), axis=vs_axis),
             "SPA": RunConcat(spa_vs_samples_arrays(
                 np.stack(xs["SPA"]), r, ctx,
                 device=params["device"],
                 threads_per_block=params["threads_per_block"],
                 rngs=run_rngs["SPA"],
-            ), axis=1),
+            ), axis=vs_axis),
         }
-        ctx.seek_runs(base + n_arrays * 2 * n_runs)
+        ctx.seek_runs(base + plan.ladder_span())
         return payload
 
     def finalize(self, ctx: RunContext, params: dict, payload: dict):

@@ -10,18 +10,33 @@ per run for the largest settings.
 from __future__ import annotations
 
 from ..runtime import RunContext
-from .base import ShardAxis, ShardableExperiment, register
+from .axes import AxisSpec
+from .base import ShardableExperiment, register
 from ._opruns import SweepCell, sweep_run_payloads, variability_from_payload
 
 __all__ = ["Fig3Heatmaps"]
 
 
 class Fig3Heatmaps(ShardableExperiment):
-    """Regenerates Fig 3 (Vc heatmaps for scatter_reduce and index_add)."""
+    """Regenerates Fig 3 (Vc heatmaps for scatter_reduce and index_add).
+
+    Axis declaration: (cell x run) where the cell axis is the computed
+    (op x dim x ratio) grid (:meth:`axis_values`).  The sweep kernel
+    manages the per-cell ladder itself (irregular blocks are legal), so
+    the declaration drives shard windows and merge tags only.
+    """
 
     experiment_id = "fig3"
     title = "Fig 3: Vc heatmaps vs reduction ratio and input dimension"
-    shardable_axes = (ShardAxis("n_runs"),)
+    axes = (
+        AxisSpec("cell", "config"),
+        AxisSpec("run", "run", param="n_runs", shardable=True),
+    )
+
+    def axis_values(self, spec, params):
+        if spec.name == "cell":
+            return tuple(self._cells(params))
+        return super().axis_values(spec, params)
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":

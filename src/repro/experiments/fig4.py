@@ -9,18 +9,32 @@ index_add rises approximately linearly with R.
 from __future__ import annotations
 
 from ..runtime import RunContext
-from .base import ShardAxis, ShardableExperiment, register
+from .axes import AxisSpec
+from .base import ShardableExperiment, register
 from ._opruns import SweepCell, sweep_run_payloads, variability_from_payload
 
 __all__ = ["Fig4VcVsRatio"]
 
 
 class Fig4VcVsRatio(ShardableExperiment):
-    """Regenerates Fig 4 (Vc vs R for scatter_reduce and index_add)."""
+    """Regenerates Fig 4 (Vc vs R for scatter_reduce and index_add).
+
+    Axis declaration: (cell x run) with the computed (ratio x op) cell
+    grid; the sweep kernel manages the per-cell ladder, so the
+    declaration drives shard windows and merge tags only.
+    """
 
     experiment_id = "fig4"
     title = "Fig 4: count variability vs reduction ratio"
-    shardable_axes = (ShardAxis("n_runs"),)
+    axes = (
+        AxisSpec("cell", "config"),
+        AxisSpec("run", "run", param="n_runs", shardable=True),
+    )
+
+    def axis_values(self, spec, params):
+        if spec.name == "cell":
+            return tuple(self._cells(params))
+        return super().axis_values(spec, params)
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":

@@ -29,7 +29,8 @@ import numpy as np
 from ..lpu import device as _lpu_device  # noqa: F401  (registers "lpu")
 from ..metrics.distribution import normality_report
 from ..runtime import RunContext
-from .base import ShardAxis, ShardableExperiment, register
+from .axes import AxisSpec, plan_sweep
+from .base import ShardableExperiment, register
 from .sharding import RunConcat
 from ._sumdist import sample_array, spa_vs_samples_devices
 
@@ -41,11 +42,21 @@ DEFAULT_DEVICES = ("v100", "gh200", "mi250x", "a100", "mi300a", "lpu")
 
 
 class FigSDevices(ShardableExperiment):
-    """SPA Vs moments per GPU family (supplementary to Fig 1)."""
+    """SPA Vs moments per GPU family (supplementary to Fig 1).
+
+    Axis declaration: (device x array x run) with the device axis
+    **anchored** — it draws from per-(device, array) device-plane streams
+    and consumes no ladder, so the declared ladder span is
+    ``n_arrays * n_runs`` and any device subset replays bit-identically.
+    """
 
     experiment_id = "figS1"
     title = "Supplementary: SPA Vs statistics across GPU families"
-    shardable_axes = (ShardAxis("n_runs"),)
+    axes = (
+        AxisSpec("device", "device", param="devices", anchored=True),
+        AxisSpec("array", "array", param="n_arrays"),
+        AxisSpec("run", "run", param="n_runs", shardable=True),
+    )
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":
@@ -61,11 +72,13 @@ class FigSDevices(ShardableExperiment):
         }
 
     def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
-        devices = tuple(params["devices"])
+        plan = plan_sweep(self, params)
+        devices = plan.axis("device").values
         n_arrays, n_runs = params["n_arrays"], params["n_runs"]
         # Anchor the device planes at the context's ladder position on
         # entry (reused contexts keep drawing fresh planes), then advance
-        # the ladder by the logical run-axis size exactly once.
+        # the ladder by the declared span exactly once (the anchored
+        # device axis consumes no ladder streams).
         base = ctx.peek_run_counter()
         data_rng = ctx.data(stream=0xF16D)
         xs = np.stack([
@@ -78,8 +91,9 @@ class FigSDevices(ShardableExperiment):
             threads_per_block=params["threads_per_block"],
             run_lo=lo, run_hi=hi, anchor=base,
         )
-        ctx.seek_runs(base + n_arrays * n_runs)
-        return {"devices": {d: RunConcat(vs[d], axis=1) for d in devices}}
+        ctx.seek_runs(base + plan.ladder_span())
+        vs_axis = plan.merge_axis("array", "run")
+        return {"devices": {d: RunConcat(vs[d], axis=vs_axis) for d in devices}}
 
     def finalize(self, ctx: RunContext, params: dict, payload: dict):
         from ..gpusim.device import get_device

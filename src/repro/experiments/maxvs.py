@@ -19,7 +19,8 @@ import numpy as np
 
 from ..metrics.powerlaw import fit_power_law
 from ..runtime import RunContext
-from .base import ShardAxis, ShardableExperiment, register
+from .axes import AxisSpec, plan_sweep
+from .base import ShardableExperiment, register
 from .sharding import RunConcat
 from ._sumdist import sample_array, spa_vs_samples_arrays
 
@@ -27,11 +28,22 @@ __all__ = ["MaxVsPowerLaw"]
 
 
 class MaxVsPowerLaw(ShardableExperiment):
-    """Fits Max|Vs|(n) = beta * n^alpha for uniform and normal inputs."""
+    """Fits Max|Vs|(n) = beta * n^alpha for uniform and normal inputs.
+
+    Axis declaration: (distribution x size x array x run) in
+    ladder-nesting order — a four-deep uniform-block ladder whose block
+    bases all come from
+    :meth:`~repro.experiments.axes.SweepPlan.run_block_base`.
+    """
 
     experiment_id = "maxvs"
     title = "Max |Vs| vs array size: power-law fit (paper SIII-C)"
-    shardable_axes = (ShardAxis("n_runs"),)
+    axes = (
+        AxisSpec("distribution", "config", values=("uniform", "normal")),
+        AxisSpec("size", "config", param="sizes"),
+        AxisSpec("array", "array", param="n_arrays"),
+        AxisSpec("run", "run", param="n_runs", shardable=True),
+    )
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":
@@ -47,22 +59,25 @@ class MaxVsPowerLaw(ShardableExperiment):
         }
 
     def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
-        n_arrays, n_runs, r = params["n_arrays"], params["n_runs"], hi - lo
+        plan = plan_sweep(self, params)
+        n_arrays, r = params["n_arrays"], hi - lo
         base = ctx.peek_run_counter()
+        vs_axis = plan.merge_axis("array", "run")
         cells: dict = {}
-        for dist in ("uniform", "normal"):
+        for d, dist in enumerate(plan.axis("distribution").values):
             data_rng = ctx.data(stream=11 + (dist == "normal"))
             per_size = []
-            for n in params["sizes"]:
+            for s, n in enumerate(plan.axis("size").values):
                 xs = np.stack([
                     sample_array(data_rng, n, dist) for _ in range(n_arrays)
                 ])
-                # Serial ladder: array a of this cell owns streams
-                # [base + a*n_runs, base + (a+1)*n_runs); pre-draw each
-                # array's [lo, hi) window explicitly.
+                # Block bases from the declaration; pre-draw each array's
+                # [lo, hi) window explicitly.
                 rngs = []
                 for a in range(n_arrays):
-                    ctx.seek_runs(base + a * n_runs + lo)
+                    ctx.seek_runs(
+                        plan.run_block_base(base, distribution=d, size=s, array=a) + lo
+                    )
                     rngs.extend(ctx.scheduler() for _ in range(r))
                 vs_mat = spa_vs_samples_arrays(
                     xs, r, ctx,
@@ -70,10 +85,9 @@ class MaxVsPowerLaw(ShardableExperiment):
                     threads_per_block=params["threads_per_block"],
                     rngs=rngs,
                 )
-                per_size.append({"vs": RunConcat(vs_mat, axis=1)})
-                base += n_arrays * n_runs
+                per_size.append({"vs": RunConcat(vs_mat, axis=vs_axis)})
             cells[dist] = per_size
-        ctx.seek_runs(base)
+        ctx.seek_runs(base + plan.ladder_span())
         return cells
 
     def finalize(self, ctx: RunContext, params: dict, payload: dict):

@@ -28,7 +28,8 @@ from ..ops import (
 )
 from ..ops.segmented import SegmentPlan
 from ..runtime import RunContext
-from .base import ShardAxis, ShardableExperiment, register
+from .axes import AxisSpec
+from .base import ShardableExperiment, register
 from .sharding import RunConcat
 from ._opruns import SweepCell, sweep_run_payloads, variability_from_payload
 
@@ -58,7 +59,32 @@ class Table5OpSweep(ShardableExperiment):
 
     experiment_id = "table5"
     title = "Table 5: max and min variability for non-deterministic operations"
-    shardable_axes = (ShardAxis("n_runs"),)
+    #: (block x run): the block axis is the computed per-op config walk
+    #: (:meth:`axis_values`).  Blocks are *not* uniform — scatter_reduce
+    #: configs consume ``n_runs + 1`` streams (the reference run) — so
+    #: the ladder walk stays local to :meth:`shard_run`; the declaration
+    #: drives shard windows and validation.
+    axes = (
+        AxisSpec("block", "config"),
+        AxisSpec("run", "run", param="n_runs", shardable=True),
+    )
+
+    def axis_values(self, spec, params):
+        if spec.name == "block":
+            rich = params["rich_grid"]
+            g1, g2, g3 = self._conv_grid(rich)
+            return tuple(
+                [("ConvTranspose1d",) + c for c in g1]
+                + [("ConvTranspose2d",) + c for c in g2]
+                + [("ConvTranspose3d",) + c for c in g3]
+                + [("cumsum", n) for n in self._cumsum_sizes(rich)]
+                + [("index_add",) + c for c in self._ia_grid(rich)]
+                + [("scatter_reduce",) + c for c in self._sr_grid(rich)]
+                + [(op, n, ratio)
+                   for op in ("index_copy", "index_put", "scatter")
+                   for n, ratio in ((200, 0.5), (1_000, 0.9))]
+            )
+        return super().axis_values(spec, params)
 
     def params_for(self, scale: str) -> dict:
         if scale == "paper":

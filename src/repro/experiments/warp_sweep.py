@@ -1,0 +1,136 @@
+"""Extension — warp-width ablation of AO thread-order variability.
+
+The device registry carries a synthetic ablation pair (``warp32`` /
+``warp64``) identical in every number except the warp (wavefront) size,
+registered to isolate lane-granular atomic retirement — the NVIDIA-warp
+vs AMD-wavefront contrast the paper's cross-vendor measurements fold
+into their device rows.  This experiment is the pair's first consumer:
+the same arrays summed with atomic-ordered (AO) accumulation on both
+profiles, drawing **identical** scheduler randomness for every
+``(array, run)`` cell, so the only free variable is how many lanes
+retire as one unit.
+
+Stream layout: the run-granular device-plane contract of
+:func:`~repro.experiments._sumdist.ao_vs_samples_devices` — one anchored
+:meth:`~repro.runtime.RunContext.device_stream` per (array, run) cell on
+a plane **shared** by both devices (``SHARED_PLANE``).  Shared keys mean
+both warp widths consume the same raw draw sequence per cell; the block
+scheduling model never reads ``warp_size``, so the divergence below is
+retirement granularity alone (the pair contract pinned in
+``tests/test_device_axis.py``).  Run-granular streams make any run
+window bit-identical to slicing the full sweep, which is the shard
+derivation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..gpusim.device import get_device
+from ..runtime import RunContext
+from .axes import AxisSpec, plan_sweep
+from .base import ShardableExperiment, register
+from .sharding import RunConcat
+from ._sumdist import ao_vs_samples_devices, sample_array
+
+__all__ = ["WarpWidthSweep", "SHARED_PLANE"]
+
+#: Device plane both warp profiles draw from.  Sharing one plane gives
+#: identical stream keys per (array, run) cell across the pair — the
+#: whole point of the ablation.
+SHARED_PLANE = "warp-ablation"
+
+
+class WarpWidthSweep(ShardableExperiment):
+    """AO Vs statistics under the warp-32-vs-64 ablation pair.
+
+    Axis declaration: (device x array x run) with the device axis
+    **anchored** — every (array, run) cell draws from its own
+    device-plane stream on the shared plane, the ladder advances by
+    ``n_arrays * n_runs`` exactly once, and the run axis shards
+    window-bit-exactly because no two runs share a stream.
+    """
+
+    experiment_id = "warpsweep"
+    title = "Extension: AO variability under the warp-width ablation pair"
+    axes = (
+        AxisSpec("device", "device", param="devices", anchored=True),
+        AxisSpec("array", "array", param="n_arrays"),
+        AxisSpec("run", "run", param="n_runs", shardable=True),
+    )
+
+    def params_for(self, scale: str) -> dict:
+        # n_elements and threads_per_block stay multiples of 64 so both
+        # warp widths take the warp-granular fast path.
+        if scale == "paper":
+            return {
+                "devices": ("warp32", "warp64"),
+                "n_elements": 65_536, "n_arrays": 10, "n_runs": 1_000,
+                "threads_per_block": 128,
+            }
+        return {
+            "devices": ("warp32", "warp64"),
+            "n_elements": 4_096, "n_arrays": 2, "n_runs": 200,
+            "threads_per_block": 128,
+        }
+
+    def shard_run(self, ctx: RunContext, params: dict, lo: int, hi: int) -> dict:
+        plan = plan_sweep(self, params)
+        # Anchor the shared plane at the ladder position on entry and
+        # advance the ladder by the declared span once, mirroring the
+        # other anchored-device experiments (reused contexts continue).
+        base = ctx.peek_run_counter()
+        data_rng = ctx.data(stream=0x3A9B)
+        xs = np.stack([
+            sample_array(data_rng, params["n_elements"], "uniform")
+            for _ in range(params["n_arrays"])
+        ])
+        vs = ao_vs_samples_devices(
+            xs, params["n_runs"], ctx,
+            devices=plan.axis("device").values,
+            threads_per_block=params["threads_per_block"],
+            run_lo=lo, run_hi=hi, anchor=base, plane=SHARED_PLANE,
+        )
+        ctx.seek_runs(base + plan.ladder_span())
+        vs_axis = plan.merge_axis("array", "run")
+        return {"devices": {d: RunConcat(vs[d], axis=vs_axis) for d in vs}}
+
+    def finalize(self, ctx: RunContext, params: dict, payload: dict):
+        devices = tuple(params["devices"])
+        rows: list[dict] = []
+        for device in devices:
+            vs_mat = payload["devices"][device]
+            # Run-to-run moments: per-array over the run axis, then
+            # averaged over arrays (figS1's convention), keeping
+            # between-array spread out of the variability number.
+            rows.append(
+                {
+                    "device": device,
+                    "warp_size": int(get_device(device).warp_size),
+                    "vs_mean_x1e16": float(np.mean(vs_mat.mean(axis=1))) * 1e16,
+                    "vs_std_x1e16": float(np.mean(vs_mat.std(axis=1))) * 1e16,
+                    "max_abs_vs_x1e16": float(np.max(np.abs(vs_mat))) * 1e16,
+                    "distinct_vs_per_array": float(np.mean([
+                        np.unique(vs_mat[a]).size
+                        for a in range(params["n_arrays"])
+                    ])),
+                }
+            )
+        extra: dict = {}
+        if len(devices) == 2:
+            a = np.ascontiguousarray(payload["devices"][devices[0]])
+            b = np.ascontiguousarray(payload["devices"][devices[1]])
+            extra["pair_bitwise_divergence_fraction"] = float(
+                np.mean(a.view(np.int64) != b.view(np.int64))
+            )
+        notes = (
+            "Shape checks: both profiles draw identical per-(array, run) "
+            "streams from the shared device plane, so every divergence is "
+            "warp retirement granularity; the 64-lane profile permutes "
+            "half as many retirement units, narrowing the Vs spread "
+            "relative to 32 lanes."
+        )
+        return rows, notes, extra
+
+
+register(WarpWidthSweep())

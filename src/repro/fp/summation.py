@@ -56,11 +56,19 @@ run's ND ``index_add`` randomness drawn from that run's own scheduler
 stream.  The draw-order contracts all these batched consumers rely on —
 the single ``integers(len(chunk_ladder))`` draw of ``cumsum``'s chunk
 ladder, the one-stream-per-solve sequence of the CG run batch, the
-one-stream-per-training-run layout of the GNN stack, and the anchored
+one-stream-per-training-run layout of the GNN stack, the anchored
 per-(device, array) **device planes** of the cross-architecture sweeps
 (whole run axis drawn from one cell stream: raw rotations up front, then
-prefix-stable float32 block rows) — are catalogued in
-:mod:`repro.gpusim.scheduler`'s module docstring.
+prefix-stable float32 block rows), and the run-granular
+per-(device, array, run) plane variant of the thread-order sweeps — are
+catalogued in :mod:`repro.gpusim.scheduler`'s module docstring.
+Experiments *declare* which layout each axis uses instead of re-wiring
+it: the axis-declaration contract (``Experiment.axes`` resolved by
+:func:`repro.experiments.axes.plan_sweep`) maps declared order to ladder
+nesting, derives every run-block base as ``anchor + row_major_flat(outer
+coords) * n_runs``, excludes anchored device axes and seed-ensemble axes
+from the ladder span, and hands the executor its shard windows — see the
+scheduler catalogue's "axis-declaration contract" section.
 
 The fold matrices are also the engine's compiled hot path: when the
 :mod:`repro.backend` registry selects the compiled backend

@@ -104,6 +104,34 @@ sharding composes with the anchoring because the cell stream — not the
 ladder — carries the run axis.  ``tests/test_device_axis.py`` pins the
 cell contract, the subset-invariance and the window slicing.
 
+A second, **run-granular** plane layout serves the thread-order sweeps
+(``warpsweep`` via :func:`repro.experiments._sumdist.
+ao_vs_samples_devices`): cell index ``a * n_runs + r`` — one anchored
+stream per ``(array, run)`` rather than per array — so any run window is
+bit-identical to slicing the full sweep *by construction* (no
+prefix-stable row discipline needed), and a plane name **shared** by
+several devices hands them identical draws per cell (the warp-width
+ablation isolates retirement granularity this way).  Seed-ensemble
+members (``seedens``) sit above both layouts: each member owns a whole
+child ``RunContext(seed=member_seed)`` and anchors its planes at 0, so
+the member axis consumes neither the master ladder nor any plane.
+
+The axis-declaration contract
+-----------------------------
+Experiments no longer wire these layouts by hand: they declare their
+axis product (config x array x device x seed x run) once as
+``Experiment.axes`` (:mod:`repro.experiments.axes`), and the sweep
+planner derives everything this catalogue specifies — *declared order is
+ladder-nesting order*.  For the uniform-block serial layout, the ladder
+base of an outer coordinate's run block is ``anchor + row_major_flat
+(outer coords) * n_runs`` (:meth:`~repro.experiments.axes.SweepPlan.
+run_block_base`); anchored device axes and seed axes drop out of the
+ladder span (planes and child contexts, per the sections above); the
+unique shardable axis yields the executor's shard windows and the
+payload's merge-tag axis; and a value-enumerated seed axis decomposes
+into per-(seed, device) result-cache cells.  ``tests/test_axes.py`` pins
+each derivation against the hand-wired arithmetic it replaced.
+
 Draw contracts of the other batched run consumers
 -------------------------------------------------
 The one-stream-per-run rule generalises beyond this module; every batched

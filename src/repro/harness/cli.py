@@ -41,7 +41,15 @@ code fingerprint, backend identity) and reused from ``--cache-dir``
 ``run`` / ``run-all`` skip cache hits and ``--no-cache`` forces
 recomputation.  Any source edit changes the fingerprint, so stale
 results are never served; backend identity keeps numpy-produced and
-compiled-produced entries on distinct keys.
+compiled-produced entries on distinct keys.  Experiments whose axis
+declaration decomposes (seed-ensemble grids, e.g. ``seedens``) cache
+**per (seed, device) cell** — growing the grid recomputes only the new
+cells.
+
+Environment validation: malformed ``REPRO_WORKERS`` (non-integer or
+< 1) and ``REPRO_BACKEND`` (unknown mode) values fail at CLI entry with
+configuration errors naming the variable, instead of being silently
+ignored or surfacing mid-run.
 """
 
 from __future__ import annotations
@@ -162,16 +170,43 @@ def _device_overrides(eid: str, args, *, strict: bool) -> dict:
 
 
 def _run_one(executor, cache, eid: str, args, overrides: dict) -> tuple:
-    """Cache-aware single-experiment execution; returns (result, hit)."""
-    key = cache_key(eid, args.scale, args.seed, overrides)
-    if cache is not None:
-        cached = cache.lookup(key)
+    """Cache-aware single-experiment execution; returns (result, hit).
+
+    Experiments whose axis declaration decomposes into cache cells
+    (:meth:`~repro.experiments.base.Experiment.cache_cells` — e.g. a
+    seed-ensemble's (seed x device) grid) run and cache **per cell**:
+    every cell gets its own result-cache key, so re-running a grown grid
+    recomputes only the new cells, and the per-cell results reassemble
+    (:meth:`~repro.experiments.base.Experiment.combine_cells`)
+    bit-identically to the monolithic run.  ``hit`` reports a full-grid
+    cache hit (every cell served from cache).
+    """
+    exp = get_experiment(eid)
+    cells = exp.cache_cells(args.scale, args.seed, overrides)
+    if cells is None:
+        key = cache_key(eid, args.scale, args.seed, overrides)
+        if cache is not None:
+            cached = cache.lookup(key)
+            if cached is not None:
+                return cached, True
+        result = executor.run(eid, scale=args.scale, seed=args.seed, **overrides)
+        if cache is not None:
+            cache.store(key, result)
+        return result, False
+    params = exp.resolve_params(args.scale, dict(overrides))
+    results, all_hit = [], True
+    for cell in cells:
+        key = cache_key(eid, args.scale, args.seed, cell)
+        cached = cache.lookup(key) if cache is not None else None
         if cached is not None:
-            return cached, True
-    result = executor.run(eid, scale=args.scale, seed=args.seed, **overrides)
-    if cache is not None:
-        cache.store(key, result)
-    return result, False
+            results.append(cached)
+            continue
+        all_hit = False
+        result = executor.run(eid, scale=args.scale, seed=args.seed, **cell)
+        if cache is not None:
+            cache.store(key, result)
+        results.append(result)
+    return exp.combine_cells(args.scale, params, args.seed, results), all_hit
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -185,6 +220,10 @@ def main(argv: list[str] | None = None) -> int:
             return 0
         if getattr(args, "backend", None):
             _backend.set_backend(args.backend)
+        else:
+            # Validate $REPRO_BACKEND at entry: a typo'd mode fails here
+            # with a named ConfigurationError instead of mid-run.
+            _backend.backend_mode()
         cache = None
         if not args.no_cache:
             cache = ResultCache(args.cache_dir or default_cache_dir())

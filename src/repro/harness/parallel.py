@@ -34,7 +34,8 @@ import os
 import time
 
 from .. import backend as _backend
-from ..errors import ExperimentError
+from ..errors import ConfigurationError, ExperimentError
+from ..experiments.axes import plan_sweep
 from ..experiments.base import Experiment, ExperimentResult, get_experiment
 from ..experiments.sharding import plan_shards
 from ..runtime import RunContext
@@ -46,12 +47,25 @@ WORKERS_ENV = "REPRO_WORKERS"
 
 
 def default_workers() -> int:
-    """Worker count from ``REPRO_WORKERS`` (>= 1); 1 when unset/invalid."""
+    """Worker count from ``REPRO_WORKERS`` (unset/empty = 1).
+
+    A malformed or non-positive value raises a named
+    :class:`~repro.errors.ConfigurationError` — silently degrading
+    ``REPRO_WORKERS=eight`` to serial execution hid the typo behind an
+    8x wall-clock surprise.
+    """
     raw = os.environ.get(WORKERS_ENV, "")
-    try:
-        return max(1, int(raw))
-    except ValueError:
+    if not raw.strip():
         return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{WORKERS_ENV} must be an integer worker count, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ConfigurationError(f"{WORKERS_ENV} must be >= 1, got {workers}")
+    return workers
 
 
 def _worker_initializer(backend_mode: str) -> None:
@@ -134,12 +148,36 @@ class ShardedExecutor:
     # ------------------------------------------------------------------- run
     def plan(self, exp: Experiment, params: dict) -> list[tuple[int, int]] | None:
         """Shard windows for one experiment, or ``None`` when it must run
-        serially (not shardable, one worker, or a degenerate run count)."""
-        if not exp.shardable_axes or self.workers <= 1:
+        serially (not shardable, one worker, or a degenerate run count).
+
+        Declared experiments (``exp.axes``) get their windows from the
+        sweep planner (:func:`~repro.experiments.axes.plan_sweep`), which
+        also validates the declaration — a multi-shardable product raises
+        a named error there.  Legacy ``shardable_axes`` declarations are
+        windowed directly, and more than one legacy axis is rejected
+        explicitly instead of silently sharding the first.
+        """
+        if self.workers <= 1:
             return None
-        axis = exp.shardable_axes[0]
-        total = int(params[axis.param])
-        shards = plan_shards(total, self.workers, min_per_shard=axis.min_per_shard)
+        if exp.axes:
+            sweep = plan_sweep(exp, params)
+            if sweep.shard_axis is None:
+                return None
+            shards = sweep.shard_windows(self.workers)
+        else:
+            axes = exp.shardable_axes
+            if not axes:
+                return None
+            if len(axes) > 1:
+                raise ExperimentError(
+                    f"experiment {exp.experiment_id!r} declares {len(axes)} "
+                    "shardable axes; the executor windows exactly one — "
+                    "declare the product via Experiment.axes instead"
+                )
+            total = int(params[axes[0].param])
+            shards = plan_shards(
+                total, self.workers, min_per_shard=axes[0].min_per_shard
+            )
         return shards if len(shards) > 1 else None
 
     def run(

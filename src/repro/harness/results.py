@@ -278,6 +278,12 @@ class ResultCache:
         keeping actively used results alive.  mtime-only (no JSON parse),
         and at most one directory scan per :class:`ResultCache` instance,
         so ``run-all`` pays it once.
+
+        ``.<name>.*.tmp`` files are :func:`_atomic_write_text` temps; a
+        writer that crashed between ``mkstemp`` and ``os.replace`` leaks
+        one, and nothing else ever references it, so old temps are
+        collected on the same cutoff (a live writer's temp is seconds
+        old and untouched).
         """
         if self._gc_done:
             return
@@ -286,6 +292,12 @@ class ResultCache:
         for path in self.directory.glob("*.json"):
             if len(path.stem) != 64 or any(c not in "0123456789abcdef" for c in path.stem):
                 continue
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+            except OSError:  # pragma: no cover - concurrent gc
+                pass
+        for path in self.directory.glob(".*.tmp"):
             try:
                 if path.stat().st_mtime < cutoff:
                     path.unlink()

@@ -1,0 +1,248 @@
+"""Axis-algebra suite: the planner's derivations equal the hand-wired paths.
+
+The declarative sweep core (:mod:`repro.experiments.axes`) replaced four
+hand-wired mechanisms; these tests pin, per migrated experiment, that the
+derived quantities are *equal* to the arithmetic they replaced:
+
+* shard windows == ``plan_shards`` over the legacy ``ShardAxis``;
+* ``run_block_base`` == the inlined ladder arithmetic;
+* serial ladder consumption == ``ladder_span`` (uniform-block layout);
+* seed-ensemble cache cells == hand-built per-cell override/key sets,
+  and the cell-combined grid == the monolithic grid, bit for bit;
+* multi-shardable declarations are rejected by name at every level.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import pytest
+
+from repro.errors import ConfigurationError, ExperimentError
+from repro.experiments import get_experiment
+from repro.experiments.axes import AxisSpec, plan_sweep
+from repro.experiments.base import ShardableExperiment
+from repro.experiments.sharding import ShardAxis, plan_shards
+from repro.harness.cli import _run_one
+from repro.harness.parallel import ShardedExecutor
+from repro.harness.results import ResultCache, cache_key
+from repro.runtime import RunContext
+
+#: Migrated declared experiments and the run-count parameter their shard
+#: axis windows (the pre-planner ``shardable_axes[0]`` behaviour).
+DECLARED = [
+    ("fig1", "n_runs"),
+    ("fig2", "n_runs"),
+    ("figS1", "n_runs"),
+    ("fig3", "n_runs"),
+    ("fig4", "n_runs"),
+    ("fig5", "n_runs"),
+    ("maxvs", "n_runs"),
+    ("table5", "n_runs"),
+    ("cgdiv", "n_runs"),
+    ("warpsweep", "n_runs"),
+    ("seedens", "seeds"),
+]
+
+
+@pytest.mark.parametrize("eid,param", DECLARED, ids=[c[0] for c in DECLARED])
+class TestPlannerEqualsHandWired:
+    def test_shard_windows_match_legacy_plan(self, eid, param):
+        exp = get_experiment(eid)
+        params = exp.params_for("default")
+        plan = plan_sweep(exp, params)
+        value = params[param]
+        total = value if isinstance(value, int) else len(value)
+        assert plan.shard_axis is not None
+        assert plan.shard_axis.size == total
+        assert exp.shard_total(params) == total
+        for n in (1, 2, 3, 7):
+            assert plan.shard_windows(n) == plan_shards(
+                total, n, min_per_shard=plan.shard_axis.spec.min_per_shard
+            )
+
+    def test_shard_decl_matches_legacy_axes(self, eid, param):
+        exp = get_experiment(eid)
+        plan = plan_sweep(exp, exp.params_for("default"))
+        assert plan.shard_decl() == exp.shardable_axes == (
+            ShardAxis(param, plan.shard_axis.spec.min_per_shard),
+        )
+
+
+class TestRunBlockBase:
+    def test_fig1_blocks(self):
+        exp = get_experiment("fig1")
+        params = exp.params_for("default")
+        plan = plan_sweep(exp, params)
+        A, R = params["n_arrays"], params["n_runs"]
+        for d in range(2):
+            for a in range(A):
+                assert plan.run_block_base(7, distribution=d, array=a) == \
+                    7 + (d * A + a) * R
+
+    def test_fig2_blocks(self):
+        exp = get_experiment("fig2")
+        params = exp.params_for("default")
+        plan = plan_sweep(exp, params)
+        A, R = params["n_arrays"], params["n_runs"]
+        for a in range(A):
+            for i in range(2):
+                assert plan.run_block_base(0, array=a, impl=i) == (a * 2 + i) * R
+
+    def test_maxvs_blocks(self):
+        exp = get_experiment("maxvs")
+        params = exp.params_for("default")
+        plan = plan_sweep(exp, params)
+        S, A, R = len(params["sizes"]), params["n_arrays"], params["n_runs"]
+        for d in range(2):
+            for s in range(S):
+                for a in range(A):
+                    assert plan.run_block_base(3, distribution=d, size=s, array=a) \
+                        == 3 + ((d * S + s) * A + a) * R
+
+    def test_cgdiv_blocks(self):
+        exp = get_experiment("cgdiv")
+        params = exp.params_for("default")
+        plan = plan_sweep(exp, params)
+        assert plan.run_block_base(0, phase=0) == 0
+        assert plan.run_block_base(0, phase=1) == params["n_runs"]
+
+    def test_bad_coordinates_rejected(self):
+        exp = get_experiment("fig1")
+        plan = plan_sweep(exp, exp.params_for("default"))
+        with pytest.raises(ConfigurationError, match="outer ladder axes"):
+            plan.run_block_base(0, distribution=0)
+        with pytest.raises(ConfigurationError, match="outside"):
+            plan.run_block_base(0, distribution=5, array=0)
+
+
+class TestLadderConsumption:
+    #: Uniform-block experiments whose shard_run advances the ladder by
+    #: exactly the declared span (anchored device axes excluded).
+    CASES = [
+        ("fig1", {"n_elements": 1_000, "n_arrays": 2, "n_runs": 5, "bins": 5}),
+        ("fig2", {"n_elements": 1_920, "spa_n_elements": 2_560, "n_arrays": 2,
+                  "n_runs": 5, "bins": 5}),
+        ("figS1", {"devices": ("v100", "lpu"), "n_elements": 1_000,
+                   "n_arrays": 2, "n_runs": 5, "bins": 5}),
+        ("maxvs", {"sizes": (1_000, 2_000), "n_arrays": 2, "n_runs": 5}),
+        ("warpsweep", {"n_elements": 256, "n_arrays": 2, "n_runs": 5}),
+    ]
+
+    @pytest.mark.parametrize("eid,tiny", CASES, ids=[c[0] for c in CASES])
+    def test_serial_shard_consumes_ladder_span(self, eid, tiny):
+        exp = get_experiment(eid)
+        params = exp.resolve_params("default", tiny)
+        plan = plan_sweep(exp, params)
+        ctx = RunContext(seed=0)
+        base = ctx.peek_run_counter()
+        exp.shard_run(ctx, params, 0, plan.shard_axis.size)
+        assert ctx.peek_run_counter() == base + plan.ladder_span()
+
+    def test_seedens_is_ladder_independent(self):
+        # Members own child contexts; the master ladder must not move.
+        exp = get_experiment("seedens")
+        params = exp.resolve_params("default", {
+            "seeds": (0, 1), "devices": ("v100",), "n_elements": 500,
+            "n_arrays": 2, "n_runs": 4,
+        })
+        ctx = RunContext(seed=0)
+        first = exp.shard_run(ctx, params, 0, 2)
+        assert ctx.peek_run_counter() == 0
+        assert exp.shard_run(ctx, params, 0, 2) == first
+
+
+class TestMultiShardableRejection:
+    class _TwoShardable(ShardableExperiment):
+        experiment_id = "twoshard"
+        title = "two shardable axes"
+        axes = (
+            AxisSpec("a", "config", param="n_a", shardable=True),
+            AxisSpec("run", "run", param="n_runs", shardable=True),
+        )
+
+        def params_for(self, scale):
+            return {"n_a": 4, "n_runs": 8}
+
+    class _TwoLegacy(ShardableExperiment):
+        experiment_id = "twolegacy"
+        title = "two legacy shard axes"
+        shardable_axes = (ShardAxis("n_a", 1), ShardAxis("n_runs", 1))
+
+        def params_for(self, scale):
+            return {"n_a": 4, "n_runs": 8}
+
+    def test_plan_sweep_rejects_by_name(self):
+        exp = self._TwoShardable()
+        with pytest.raises(ConfigurationError, match="2 shardable axes.*exactly one"):
+            plan_sweep(exp, exp.params_for("default"))
+
+    def test_executor_rejects_declared_multi(self):
+        exp = self._TwoShardable()
+        with pytest.raises(ConfigurationError, match="shardable axes"):
+            ShardedExecutor(workers=2).plan(exp, exp.params_for("default"))
+
+    def test_executor_rejects_legacy_multi(self):
+        exp = self._TwoLegacy()
+        with pytest.raises(ExperimentError, match="declare the product via Experiment.axes"):
+            ShardedExecutor(workers=2).plan(exp, exp.params_for("default"))
+
+    def test_shard_total_rejects_legacy_multi(self):
+        exp = self._TwoLegacy()
+        with pytest.raises(ExperimentError, match="exactly one"):
+            exp.shard_total(exp.params_for("default"))
+
+
+class TestSeedEnsembleCells:
+    OVERRIDES = {
+        "seeds": (0, 1), "devices": ("v100", "lpu"), "n_elements": 1_000,
+        "n_arrays": 2, "n_runs": 6,
+    }
+
+    def test_cells_are_seed_major_device_minor(self):
+        exp = get_experiment("seedens")
+        cells = exp.cache_cells("default", 0, self.OVERRIDES)
+        assert [(c["seeds"], c["devices"]) for c in cells] == [
+            ((0,), ("v100",)), ((0,), ("lpu",)),
+            ((1,), ("v100",)), ((1,), ("lpu",)),
+        ]
+        for cell in cells:
+            rest = {k: v for k, v in cell.items() if k not in ("seeds", "devices")}
+            assert rest == {k: v for k, v in self.OVERRIDES.items()
+                            if k not in ("seeds", "devices")}
+
+    def test_cell_keys_match_hand_computed(self):
+        exp = get_experiment("seedens")
+        cells = exp.cache_cells("default", 0, self.OVERRIDES)
+        base = {k: v for k, v in self.OVERRIDES.items()
+                if k not in ("seeds", "devices")}
+        for cell in cells:
+            hand = cache_key("seedens", "default", 0, {
+                **base, "seeds": cell["seeds"], "devices": cell["devices"],
+            })
+            assert cache_key("seedens", "default", 0, cell) == hand
+
+    def test_monolithic_experiments_do_not_decompose(self):
+        assert get_experiment("fig1").cache_cells("default", 0, {}) is None
+        assert get_experiment("figS1").cache_cells("default", 0, {}) is None
+        # A single-cell grid decomposes to nothing as well.
+        single = dict(self.OVERRIDES, seeds=(0,), devices=("v100",))
+        assert get_experiment("seedens").cache_cells("default", 0, single) is None
+
+    def test_cli_cell_caching_combines_bit_exact(self, tmp_path):
+        exp = get_experiment("seedens")
+        args = argparse.Namespace(scale="default", seed=0)
+        cache = ResultCache(tmp_path)
+        with ShardedExecutor(workers=1) as ex:
+            result, hit = _run_one(ex, cache, "seedens", args, dict(self.OVERRIDES))
+        assert not hit
+        for cell in exp.cache_cells("default", 0, self.OVERRIDES):
+            assert cache.lookup(cache_key("seedens", "default", 0, cell)) is not None
+        mono = exp.run(scale="default", **self.OVERRIDES)
+        assert result.rows == mono.rows
+        assert result.extra == mono.extra
+        assert result.notes == mono.notes
+        with ShardedExecutor(workers=1) as ex:
+            again, hit2 = _run_one(ex, cache, "seedens", args, dict(self.OVERRIDES))
+        assert hit2
+        assert again.rows == result.rows and again.extra == result.extra

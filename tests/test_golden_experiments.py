@@ -50,6 +50,9 @@ _OVERRIDES: dict[str, dict] = {
     "figS1": {"n_elements": 4_000, "n_arrays": 2, "n_runs": 24},
     "maxvs": {"sizes": (1_000, 4_000), "n_arrays": 2, "n_runs": 40},
     "cgdiv": {"n": 80, "n_runs": 3, "n_iter": 12},
+    "warpsweep": {"n_elements": 1_024, "n_arrays": 2, "n_runs": 24},
+    "seedens": {"seeds": (0, 1), "devices": ("v100", "lpu"),
+                "n_elements": 2_000, "n_arrays": 2, "n_runs": 12},
     "table3": {},
     "table7": {"n_models": 4, "epochs": 3},
     "table8": {},
@@ -63,6 +66,8 @@ GOLDEN_SHA256: dict[str, str] = {
     "fig5": "7691f3ae4dfbb5fad89e58b1daffe9587289618ec50ca605aebcc1adf1565d4c",
     "figS1": "017979d04f9d869e56f8d4d4cb0df370dfa80d70670a7afaf78d1b373c4fdb95",
     "maxvs": "4483dfe3a4616a6ddf6c3261e7db15dc50f6e87ef5a94e880c284a15826a633d",
+    "seedens": "16c7ce14dace22ef076329380a1cda2fa3529aaacb0b333580549734d1759a9f",
+    "warpsweep": "1f9bac818c089bb1f3c92156633bbb116aa0091dcfb6ee2179f11ab4094dfb59",
     "table3": "9d096da37ca859d8e7ad9e5278377ea62c44bd01347f1c543115ec214465232a",
     "table7": "e5b4a4509cc195be0e9120e26bf550d8ebe2e37a0e67460fec0b81e8b2e12a05",
     "table8": "f70b41cd224233073b551098c2450eda26e60786a05fbcba19a172d9173bfffc",

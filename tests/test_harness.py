@@ -266,6 +266,25 @@ class TestResultCache:
         assert keep.exists()
         assert fresh_cache.lookup(live_key) is not None
 
+    def test_gc_reaps_orphaned_tmp_files(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        old = 2 * cache.max_age_days * 86400.0
+        # A crashed writer's temp file (atomic-write naming:
+        # ".{name}.json.{rand}.tmp") past the age bound is reaped by GC;
+        # a fresh one — possibly a live concurrent writer — is kept.
+        orphan = tmp_path / ("." + "a" * 64 + ".json.k3j2x9.tmp")
+        orphan.write_text("{partial")
+        os.utime(orphan, times=(orphan.stat().st_atime,
+                                orphan.stat().st_mtime - old))
+        fresh = tmp_path / ("." + "b" * 64 + ".json.m1q8z4.tmp")
+        fresh.write_text("{partial")
+        fresh_cache = ResultCache(tmp_path)  # GC runs once per instance
+        fresh_cache.store(cache_key("table2", "default", 0), self._result())
+        assert not orphan.exists()
+        assert fresh.exists()
+
     def test_lookup_refreshes_entry_mtime(self, tmp_path):
         import os
 
@@ -382,6 +401,22 @@ class TestCli:
         capsys.readouterr()
         assert main(["run", "table2", "--cache-dir", cache_dir, "--no-cache"]) == 0
         assert "[cache hit]" not in capsys.readouterr().err
+
+    def test_malformed_workers_env_is_a_cli_error(self, monkeypatch, capsys):
+        monkeypatch.setenv("REPRO_WORKERS", "junk")
+        assert main(["run", "table2", "--no-cache"]) == 1
+        assert "REPRO_WORKERS" in capsys.readouterr().err
+
+    def test_malformed_backend_env_is_a_cli_error(self, monkeypatch, capsys):
+        from repro.backend import registry
+
+        # Reset the process-wide lazy selection so the env var is re-read.
+        monkeypatch.setattr(registry, "_mode", None)
+        monkeypatch.setenv("REPRO_BACKEND", "garbage")
+        assert main(["run", "table2", "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert "REPRO_BACKEND" in err and "garbage" in err
+        monkeypatch.setattr(registry, "_mode", None)
 
     def test_workers_flag_parses(self):
         p = build_parser()

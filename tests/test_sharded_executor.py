@@ -21,7 +21,7 @@ import json
 import numpy as np
 import pytest
 
-from repro.errors import ExperimentError
+from repro.errors import ConfigurationError, ExperimentError
 from repro.experiments import get_experiment
 from repro.experiments.sharding import (
     DigestSet,
@@ -80,6 +80,11 @@ SHARDABLE_CASES = [
     ("fig3", {"n_runs": 9}, {"sr_dims": (1_000,), "ia_dims": (10,), "ratios": (0.5, 1.0), "n_runs": 9}),
     ("fig4", {"n_runs": 9}, {"ratios": (0.2, 1.0), "sr_dim": 500, "ia_dim": 20, "n_runs": 9}),
     ("fig5", {"n_runs": 9}, {"ratios": (0.2, 1.0), "sr_dim": 500, "ia_dim": 20, "n_runs": 9}),
+    ("warpsweep", {"n_runs": 9}, {"n_elements": 256, "n_arrays": 2, "n_runs": 9}),
+    ("seedens", {"seeds": tuple(range(9)), "n_elements": 4_000, "n_arrays": 2, "n_runs": 24}, {
+        "seeds": tuple(range(9)), "devices": ("v100", "lpu"),
+        "n_elements": 500, "n_arrays": 2, "n_runs": 5,
+    }),
     ("table3", {"n_trials": 9}, {"n_elements": 1_000, "n_trials": 9, "num_threads": 8}),
     ("table5", {"n_runs": 9}, {"n_runs": 9}),
     ("cgdiv", {"n_runs": 9}, {"n": 50, "cond": 1e3, "n_runs": 9, "n_iter": 8}),
@@ -270,10 +275,20 @@ class TestExecutorDispatch:
         monkeypatch.setenv("REPRO_WORKERS", "5")
         assert default_workers() == 5
         assert ShardedExecutor().workers == 5
-        monkeypatch.setenv("REPRO_WORKERS", "junk")
-        assert default_workers() == 1
         monkeypatch.delenv("REPRO_WORKERS")
         assert default_workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "  ")
+        assert default_workers() == 1
+
+    def test_env_malformed_workers_rejected(self, monkeypatch):
+        # A typo'd REPRO_WORKERS must fail loudly by name, not silently
+        # degrade to serial execution.
+        for bad in ("junk", "2.5", "0", "-3"):
+            monkeypatch.setenv("REPRO_WORKERS", bad)
+            with pytest.raises(ConfigurationError, match="REPRO_WORKERS"):
+                default_workers()
+            with pytest.raises(ConfigurationError, match="REPRO_WORKERS"):
+                ShardedExecutor()
 
     def test_invalid_workers_rejected(self):
         with pytest.raises(ExperimentError):
@@ -329,6 +344,7 @@ class TestReusedContextContinuesLadder:
         ("fig2", {"n_elements": 1_920, "spa_n_elements": 2_560, "n_arrays": 2,
                   "n_runs": 9, "bins": 5}),
         ("maxvs", {"sizes": (1_000, 2_000), "n_arrays": 2, "n_runs": 9}),
+        ("warpsweep", {"n_elements": 256, "n_arrays": 2, "n_runs": 9}),
         ("table5", {"n_runs": 4}),
         ("table8", {"check_nodes": 48, "check_runs": 9}),
     ]
