@@ -298,6 +298,11 @@ class SweepPlan:
         seed-major, device-minor (the grid's row order).  Returns ``None``
         when the declaration has no seed axis to decompose (or a single
         cell, where decomposition buys nothing).
+
+        Both the CLI ``run`` path and the sweep farm's grid planner
+        (:func:`repro.harness.farm.plan_grid`) expand invocations through
+        this decomposition, so farm-warmed cells serve CLI cache hits key
+        for key — and growing the grid recomputes only the new cells.
         """
         seed_axis = self.seed_axis
         if seed_axis is None or seed_axis.spec.param is None or seed_axis.values is None:

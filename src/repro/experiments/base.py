@@ -111,6 +111,16 @@ class Experiment(abc.ABC):
     axes: tuple[AxisSpec, ...] = ()
 
     @property
+    def source_module(self) -> str:
+        """Dotted name of the module defining this experiment — the root
+        of its module-granular code-fingerprint closure
+        (:mod:`repro.harness.fingerprint`): an edit invalidates this
+        experiment's cache keys iff the edited module is reachable from
+        here through the static import graph.
+        """
+        return type(self).__module__
+
+    @property
     def shardable_axes(self) -> tuple[ShardAxis, ...]:
         """Shardable run axes (empty = serial-only), derived from the axis
         declaration.  Declaring an axis states that :meth:`shard_run` over

@@ -1,4 +1,4 @@
-"""Sweep, timing, parallel-execution, caching and CLI utilities."""
+"""Sweep, timing, parallel-execution, caching, farm and CLI utilities."""
 
 from .sweep import grid, Sweep
 from .timing import time_callable, TimingStats
@@ -6,10 +6,21 @@ from .results import (
     save_result,
     load_result,
     code_fingerprint,
+    experiment_fingerprint,
+    result_digest,
     cache_key,
     ResultCache,
 )
 from .parallel import ShardedExecutor, default_workers
+from .farm import (
+    FarmCell,
+    FarmReport,
+    DriftEntry,
+    SweepFarm,
+    plan_grid,
+    load_pins,
+    device_overrides_for,
+)
 
 __all__ = [
     "grid",
@@ -19,8 +30,17 @@ __all__ = [
     "save_result",
     "load_result",
     "code_fingerprint",
+    "experiment_fingerprint",
+    "result_digest",
     "cache_key",
     "ResultCache",
     "ShardedExecutor",
     "default_workers",
+    "FarmCell",
+    "FarmReport",
+    "DriftEntry",
+    "SweepFarm",
+    "plan_grid",
+    "load_pins",
+    "device_overrides_for",
 ]

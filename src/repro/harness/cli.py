@@ -11,6 +11,11 @@ Usage::
                               [--out DIR] [--devices NAMES]
                               [--backend MODE]
                               [--no-cache] [--cache-dir DIR]
+    repro-experiments farm [--experiments IDS] [--scales NAMES]
+                           [--seeds NS] [--devices NAMES] [--workers N]
+                           [--backend MODE] [--cache-dir DIR]
+                           [--pins FILE] [--report-json PATH]
+                           [--probe-only] [--fail-on-drift]
 
 Device axis: ``--devices v100,gh200,lpu`` overrides the device list of the
 cross-architecture experiments (e.g. ``figS1``, whose report carries one
@@ -36,15 +41,41 @@ so the flag changes wall-clock, never results.  Worker processes inherit
 the selection through the pool initializer.
 
 Caching: results are content-addressed by (experiment id, scale, seed,
-code fingerprint, backend identity) and reused from ``--cache-dir``
-(default: ``$REPRO_CACHE_DIR`` or ``~/.cache/repro-experiments``);
-``run`` / ``run-all`` skip cache hits and ``--no-cache`` forces
-recomputation.  Any source edit changes the fingerprint, so stale
-results are never served; backend identity keeps numpy-produced and
+overrides, code fingerprint, backend identity) and reused from
+``--cache-dir`` (default: ``$REPRO_CACHE_DIR`` or
+``~/.cache/repro-experiments``); ``run`` / ``run-all`` skip cache hits
+and ``--no-cache`` forces recomputation.  The code fingerprint is
+**module-granular** (:mod:`repro.harness.fingerprint`): each experiment
+keys on the hash of exactly the modules in its static import closure, so
+an edit invalidates precisely the experiments that can reach the edited
+module — touching ``experiments/_gnn.py`` misses only the GNN tables'
+keys while every summation experiment stays hot — and stale results are
+still never served, because any edit an experiment could observe changes
+its fingerprint.  Backend identity keeps numpy-produced and
 compiled-produced entries on distinct keys.  Experiments whose axis
 declaration decomposes (seed-ensemble grids, e.g. ``seedens``) cache
 **per (seed, device) cell** — growing the grid recomputes only the new
-cells.
+cells.  Hit probes read only the entry's leading metadata block
+(:meth:`~repro.harness.results.ResultCache.contains`); payloads are
+deserialised once, on the actual hit.
+
+Farm: ``farm`` orchestrates a whole (experiment x scale x seed x device)
+grid cache-first (:mod:`repro.harness.farm`): it expands the declared
+grid into exactly the cells ``run`` would cache (device names become
+per-device cells where the experiment fits them; decomposing experiments
+expand through their axis declaration), probes every cell's key with a
+metadata-only ``contains`` before touching a worker, schedules only the
+miss cells onto the persistent executor pool largest-estimated-cost
+first, and prints a consolidated report including **digest drift**: any
+recomputed cell whose payload digest differs from the newest
+previous-generation cache entry of the same cell identity — or from a
+``--pins`` golden digest — is named together with both digests and the
+closure modules whose hashes moved.  A warm re-run of an unchanged grid
+performs zero experiment executions; after a single-module edit only the
+cells whose experiments reach that module recompute.  ``--probe-only``
+reports staleness without dispatching; ``--fail-on-drift`` turns any
+drift into a non-zero exit (CI gate); ``--report-json`` archives the
+machine-readable report.
 
 Environment validation: malformed ``REPRO_WORKERS`` (non-integer or
 < 1) and ``REPRO_BACKEND`` (unknown mode) values fail at CLI entry with
@@ -55,6 +86,7 @@ ignored or surfacing mid-run.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -62,7 +94,7 @@ from pathlib import Path
 from .. import backend as _backend
 from ..errors import ConfigurationError, ReproError
 from ..experiments import get_experiment, list_experiments, to_json, to_markdown
-from ..gpusim.device import get_device
+from .farm import SweepFarm, device_overrides_for, load_pins, plan_grid
 from .parallel import ShardedExecutor
 from .results import ResultCache, cache_key, save_result
 
@@ -132,7 +164,76 @@ def build_parser() -> argparse.ArgumentParser:
 
     runall = sub.add_parser("run-all", help="run every experiment")
     _add_run_options(runall)
+
+    farm = sub.add_parser(
+        "farm",
+        help="cache-first orchestration of an (experiment x scale x seed "
+        "x device) grid: probe every cell, recompute only the misses, "
+        "report digest drift",
+    )
+    farm.add_argument(
+        "--experiments", default=None, metavar="IDS",
+        help="comma-separated experiment ids (default: every registered "
+        "experiment)",
+    )
+    farm.add_argument(
+        "--scales", default="default", metavar="NAMES",
+        help="comma-separated scales for the grid (default: default)",
+    )
+    farm.add_argument(
+        "--seeds", default="0", metavar="NS",
+        help="comma-separated master seeds for the grid (default: 0)",
+    )
+    farm.add_argument(
+        "--devices", default=None, metavar="NAMES",
+        help="comma-separated device names; each becomes its own grid "
+        "cell for every experiment it fits (device-axis experiments run "
+        "single-device subsets — bit-identical to the full sweep's rows "
+        "under the anchored-plane contract)",
+    )
+    farm.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker pool for miss cells (default: $REPRO_WORKERS or 1)",
+    )
+    farm.add_argument(
+        "--backend", default=None, choices=_backend.MODES,
+        help="compute backend under the fold primitives (part of every "
+        "cell's cache key)",
+    )
+    farm.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-experiments)",
+    )
+    farm.add_argument(
+        "--pins", default=None, metavar="FILE",
+        help="JSON file of {cell_id: digest} golden pins; digest "
+        "disagreements land in the drift report",
+    )
+    farm.add_argument(
+        "--report-json", default=None, metavar="PATH",
+        help="write the machine-readable farm report here",
+    )
+    farm.add_argument(
+        "--probe-only", action="store_true",
+        help="probe the cache and report stale cells without dispatching "
+        "any work",
+    )
+    farm.add_argument(
+        "--fail-on-drift", action="store_true",
+        help="exit non-zero when any digest drift is detected",
+    )
     return p
+
+
+def _parse_names(raw: str | None, what: str) -> tuple[str, ...]:
+    """Split a comma-separated CLI list, rejecting the empty result."""
+    if raw is None:
+        return ()
+    names = tuple(part.strip() for part in raw.split(",") if part.strip())
+    if not names:
+        raise ConfigurationError(f"{what} needs at least one entry")
+    return names
 
 
 def _device_overrides(eid: str, args, *, strict: bool) -> dict:
@@ -141,32 +242,13 @@ def _device_overrides(eid: str, args, *, strict: bool) -> dict:
     Experiments with a ``devices`` axis get the full tuple; single-device
     experiments accept exactly one name.  ``strict`` (the single-``run``
     path) raises on experiments without a device parameter; ``run-all``
-    passes ``strict=False`` and leaves them untouched.
+    passes ``strict=False`` and leaves them untouched.  (The farm expands
+    the same mapping per device name — one cell per device that fits.)
     """
     if not args.devices:
         return {}
-    names = tuple(d.strip().lower() for d in args.devices.split(",") if d.strip())
-    if not names:
-        raise ConfigurationError("--devices needs at least one device name")
-    for name in names:
-        get_device(name)  # fail fast on unknown devices
-    params = get_experiment(eid).params_for(args.scale)
-    if "devices" in params:
-        return {"devices": names}
-    if "device" in params:
-        if len(names) == 1:
-            return {"device": names[0]}
-        if strict:
-            raise ConfigurationError(
-                f"experiment {eid!r} models a single device; "
-                f"--devices got {len(names)} names"
-            )
-        return {}  # run-all: leave single-device experiments untouched
-    if strict:
-        raise ConfigurationError(
-            f"experiment {eid!r} has no device parameter to override"
-        )
-    return {}
+    names = tuple(n.lower() for n in _parse_names(args.devices, "--devices"))
+    return device_overrides_for(eid, args.scale, names, strict=strict)
 
 
 def _run_one(executor, cache, eid: str, args, overrides: dict) -> tuple:
@@ -185,7 +267,7 @@ def _run_one(executor, cache, eid: str, args, overrides: dict) -> tuple:
     cells = exp.cache_cells(args.scale, args.seed, overrides)
     if cells is None:
         key = cache_key(eid, args.scale, args.seed, overrides)
-        if cache is not None:
+        if cache is not None and cache.contains(key):
             cached = cache.lookup(key)
             if cached is not None:
                 return cached, True
@@ -197,7 +279,11 @@ def _run_one(executor, cache, eid: str, args, overrides: dict) -> tuple:
     results, all_hit = [], True
     for cell in cells:
         key = cache_key(eid, args.scale, args.seed, cell)
-        cached = cache.lookup(key) if cache is not None else None
+        cached = (
+            cache.lookup(key)
+            if cache is not None and cache.contains(key)
+            else None
+        )
         if cached is not None:
             results.append(cached)
             continue
@@ -207,6 +293,32 @@ def _run_one(executor, cache, eid: str, args, overrides: dict) -> tuple:
             cache.store(key, result)
         results.append(result)
     return exp.combine_cells(args.scale, params, args.seed, results), all_hit
+
+
+def _run_farm(executor, cache, args) -> int:
+    """``farm`` subcommand: plan the grid, run it cache-first, report."""
+    experiment_ids = _parse_names(args.experiments, "--experiments") or None
+    scales = _parse_names(args.scales, "--scales")
+    try:
+        seeds = tuple(int(s) for s in _parse_names(args.seeds, "--seeds"))
+    except ValueError:
+        raise ConfigurationError(
+            f"--seeds must be comma-separated integers, got {args.seeds!r}"
+        ) from None
+    devices = tuple(n.lower() for n in _parse_names(args.devices, "--devices")) or None
+    cells = plan_grid(experiment_ids, scales=scales, seeds=seeds, devices=devices)
+    pins = load_pins(args.pins) if args.pins else None
+    farm = SweepFarm(cache, executor, pins=pins)
+    report = farm.run(cells, probe_only=args.probe_only)
+    print(report.to_markdown())
+    if args.report_json:
+        path = Path(args.report_json)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        print(f"[report {path}]", file=sys.stderr)
+    if args.fail_on_drift and report.drift:
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -225,9 +337,11 @@ def main(argv: list[str] | None = None) -> int:
             # with a named ConfigurationError instead of mid-run.
             _backend.backend_mode()
         cache = None
-        if not args.no_cache:
+        if not getattr(args, "no_cache", False):  # farm is always cached
             cache = ResultCache(args.cache_dir or default_cache_dir())
         with ShardedExecutor(workers=args.workers) as executor:
+            if args.command == "farm":
+                return _run_farm(executor, cache, args)
             if args.command == "run":
                 get_experiment(args.experiment_id)  # fail fast on unknown ids
                 overrides = _device_overrides(args.experiment_id, args, strict=True)

@@ -1,0 +1,497 @@
+"""Incremental sweep farm: cache-first orchestration of experiment grids.
+
+Paper-scale FPNA studies are grids of thousands of ``(experiment x scale
+x seed x device)`` cells, and the dominant wall-clock cost of iterating
+on the codebase is recomputing cells an edit could not have changed.  The
+farm is the orchestration layer that makes those re-runs incremental:
+
+1. **Expand** a declared grid into :class:`FarmCell`\\ s
+   (:func:`plan_grid`): every (experiment, scale, seed) point, crossed
+   with the device axis where the experiment has one, and further
+   decomposed through the axis planner's per-cell cache decomposition
+   (:meth:`~repro.experiments.base.Experiment.cache_cells`, e.g. a seed
+   ensemble's (member x device) grid) — exactly the cells the CLI
+   ``run`` path caches, under exactly the same keys.
+2. **Probe** the result cache for every cell up front
+   (:meth:`ResultCache.contains` — metadata heads only, no payload
+   deserialisation, no worker dispatch).
+3. **Schedule** only the miss cells onto the persistent
+   :class:`~repro.harness.parallel.ShardedExecutor` pool,
+   largest-estimated-cost first (previous-generation wall-clock when the
+   cache has seen the cell identity before, a scale heuristic
+   otherwise), storing each result as it lands.
+4. **Report** digest drift: whenever a recomputed cell's payload digest
+   differs from the newest previous-generation entry of the same cell
+   identity (same id/scale/seed/overrides, different key — i.e. the
+   same invocation under earlier code), or from a golden pin, the
+   consolidated :class:`FarmReport` names the cell, both digests and the
+   responsible fingerprint delta (which closure modules' hashes moved).
+
+Because cache keys carry the **module-granular** code fingerprint
+(:mod:`repro.harness.fingerprint`), an edit invalidates exactly the cells
+whose experiment closure contains the edited module: a warm full-grid
+re-run performs zero experiment executions, and a single-module edit
+recomputes only that module's dependents.  ``BENCH_0007.json`` pins both
+properties.
+
+Example
+-------
+>>> from repro.harness import ResultCache, ShardedExecutor
+>>> from repro.harness.farm import SweepFarm, plan_grid
+>>> cells = plan_grid(["fig4", "table2"], seeds=(0, 1))
+>>> with ShardedExecutor(workers=2) as executor:
+...     report = SweepFarm(ResultCache("~/.cache/repro"), executor).run(cells)
+>>> report.n_executed, report.n_hits, len(report.drift)
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import ConfigurationError
+from . import fingerprint as _fingerprint
+from .results import ResultCache, _canonical_override, cache_key, result_digest
+
+__all__ = [
+    "FarmCell",
+    "DriftEntry",
+    "FarmReport",
+    "SweepFarm",
+    "plan_grid",
+    "device_overrides_for",
+    "load_pins",
+]
+
+#: Scale heuristic for cells the cache has never seen: paper-scale cells
+#: dominate any mixed grid, so they dispatch first when no recorded
+#: wall-clock says otherwise.
+_SCALE_COST = {"default": 1.0, "paper": 3600.0}
+
+
+def device_overrides_for(
+    experiment_id: str, scale: str, names: tuple[str, ...], *, strict: bool
+) -> dict:
+    """Parameter overrides pinning ``experiment_id`` to the devices ``names``.
+
+    Experiments with a ``devices`` axis get the tuple; single-``device``
+    experiments accept exactly one name.  ``strict`` raises on
+    experiments without a device parameter (the CLI single-``run`` path);
+    grid expansion passes ``strict=False`` and leaves them untouched.
+    """
+    from ..experiments import get_experiment
+    from ..gpusim.device import get_device
+
+    if not names:
+        return {}
+    for name in names:
+        get_device(name)  # fail fast on unknown devices
+    params = get_experiment(experiment_id).params_for(scale)
+    if "devices" in params:
+        return {"devices": tuple(names)}
+    if "device" in params:
+        if len(names) == 1:
+            return {"device": names[0]}
+        if strict:
+            raise ConfigurationError(
+                f"experiment {experiment_id!r} models a single device; "
+                f"--devices got {len(names)} names"
+            )
+        return {}
+    if strict:
+        raise ConfigurationError(
+            f"experiment {experiment_id!r} has no device parameter to override"
+        )
+    return {}
+
+
+@dataclass(frozen=True, eq=True)
+class FarmCell:
+    """One grid cell: a complete, independently cacheable invocation."""
+
+    experiment_id: str
+    scale: str
+    seed: int
+    overrides: dict = field(default_factory=dict)
+    #: Result-cache key — identical to what the CLI ``run`` path derives
+    #: for the same invocation, so farm-warmed entries serve CLI hits.
+    key: str = ""
+
+    @property
+    def cell_id(self) -> str:
+        """Human-stable cell name: ``id/scale/seedN[?canonical overrides]``."""
+        base = f"{self.experiment_id}/{self.scale}/seed{self.seed}"
+        if not self.overrides:
+            return base
+        canon = json.dumps(
+            self.canonical_overrides(), sort_keys=True, separators=(",", ":")
+        )
+        return f"{base}?{canon}"
+
+    def canonical_overrides(self) -> dict:
+        return {
+            k: _canonical_override(v, k) for k, v in self.overrides.items()
+        }
+
+    def identity(self) -> tuple:
+        """Code-independent cell identity — what previous-generation
+        entries share with this cell while their keys differ."""
+        return (
+            self.experiment_id,
+            self.scale,
+            self.seed,
+            json.dumps(self.canonical_overrides(), sort_keys=True),
+        )
+
+
+def _make_cell(experiment_id: str, scale: str, seed: int, overrides: dict) -> FarmCell:
+    return FarmCell(
+        experiment_id=experiment_id,
+        scale=scale,
+        seed=int(seed),
+        overrides=dict(overrides),
+        key=cache_key(experiment_id, scale, seed, overrides),
+    )
+
+
+def plan_grid(
+    experiment_ids=None,
+    *,
+    scales=("default",),
+    seeds=(0,),
+    devices: tuple[str, ...] | None = None,
+    overrides: dict | None = None,
+) -> list[FarmCell]:
+    """Expand a declared grid into its cache cells.
+
+    ``devices`` is a farm axis: each name becomes its own cell for every
+    experiment it fits (device-axis experiments run as a single-device
+    subset — the anchored device-plane contract makes the subset rows
+    bit-identical to the full sweep's), while experiments without a
+    device parameter contribute one device-free cell per (scale, seed)
+    point instead of one per device.  ``overrides`` maps experiment ids
+    onto extra parameter overrides applied to every cell of that
+    experiment.  Experiments whose axis declaration decomposes
+    (:meth:`~repro.experiments.base.Experiment.cache_cells`) expand into
+    their per-cell invocations, so farm keys and CLI keys coincide
+    cell for cell.
+    """
+    from ..experiments import get_experiment, list_experiments
+
+    if experiment_ids is None:
+        experiment_ids = list_experiments()
+    overrides = overrides or {}
+    cells: list[FarmCell] = []
+    seen: set[tuple] = set()
+    for eid in experiment_ids:
+        exp = get_experiment(eid)  # fail fast on unknown ids
+        extra = dict(overrides.get(eid, {}))
+        for scale in scales:
+            device_sets: list[dict] = [{}]
+            if devices:
+                device_sets = []
+                for name in devices:
+                    dev_ov = device_overrides_for(eid, scale, (name,), strict=False)
+                    device_sets.append(dev_ov)
+            for seed in seeds:
+                for dev_ov in device_sets:
+                    base = {**extra, **dev_ov}
+                    sub = exp.cache_cells(scale, seed, base)
+                    for cell_ov in (sub if sub is not None else [base]):
+                        cell = _make_cell(eid, scale, seed, cell_ov)
+                        ident = (cell.key,)
+                        if ident in seen:  # device-free experiments dedupe
+                            continue
+                        seen.add(ident)
+                        cells.append(cell)
+    return cells
+
+
+@dataclass
+class DriftEntry:
+    """One digest disagreement surfaced by a farm run."""
+
+    cell_id: str
+    key: str
+    #: ``"previous-generation"`` (recomputed bits differ from the newest
+    #: earlier-code entry of the same cell identity) or ``"golden-pin"``
+    #: (bits differ from an explicitly pinned digest).
+    kind: str
+    old_digest: str
+    new_digest: str
+    #: Closure modules whose hashes differ between the generations — the
+    #: responsible fingerprint delta (empty when unknown, e.g. pins).
+    changed_modules: tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        line = (
+            f"{self.cell_id} [{self.kind}] "
+            f"{self.old_digest[:12]}… -> {self.new_digest[:12]}…"
+        )
+        if self.changed_modules:
+            line += f" (modules: {', '.join(self.changed_modules)})"
+        return line
+
+
+@dataclass
+class FarmReport:
+    """Consolidated outcome of one farm pass over a grid."""
+
+    cells: list[FarmCell]
+    hits: list[FarmCell]
+    misses: list[FarmCell]
+    #: Miss cells in the order they were dispatched (largest estimated
+    #: cost first); empty on a fully warm grid or a probe-only pass.
+    executed: list[FarmCell]
+    drift: list[DriftEntry]
+    elapsed_s: float = 0.0
+    probe_only: bool = False
+
+    @property
+    def n_cells(self) -> int:
+        return len(self.cells)
+
+    @property
+    def n_hits(self) -> int:
+        return len(self.hits)
+
+    @property
+    def n_misses(self) -> int:
+        return len(self.misses)
+
+    @property
+    def n_executed(self) -> int:
+        return len(self.executed)
+
+    @property
+    def recompute_fraction(self) -> float:
+        """Fraction of the grid that needs a worker — 0.0 on a warm
+        re-run, ≪ 1.0 after a single-module edit.  Defined over the miss
+        cells, so a ``probe_only`` pass reports the same fraction the
+        dispatching pass would (in a full pass every miss is executed)."""
+        return self.n_misses / self.n_cells if self.cells else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "n_cells": self.n_cells,
+            "n_hits": self.n_hits,
+            "n_misses": self.n_misses,
+            "n_executed": self.n_executed,
+            "recompute_fraction": self.recompute_fraction,
+            "elapsed_s": self.elapsed_s,
+            "probe_only": self.probe_only,
+            "hits": [c.cell_id for c in self.hits],
+            "executed": [c.cell_id for c in self.executed],
+            "drift": [
+                {
+                    "cell_id": d.cell_id,
+                    "key": d.key,
+                    "kind": d.kind,
+                    "old_digest": d.old_digest,
+                    "new_digest": d.new_digest,
+                    "changed_modules": list(d.changed_modules),
+                }
+                for d in self.drift
+            ],
+        }
+
+    def to_markdown(self) -> str:
+        verb = "probed" if self.probe_only else "ran"
+        lines = [
+            f"# sweep farm: {verb} {self.n_cells} cells in {self.elapsed_s:.2f}s",
+            "",
+            f"| cells | hits | executed | recompute | drift |",
+            f"|---|---|---|---|---|",
+            f"| {self.n_cells} | {self.n_hits} | {self.n_executed} "
+            f"| {self.recompute_fraction:.0%} | {len(self.drift)} |",
+        ]
+        if self.probe_only and self.misses:
+            lines += ["", "## stale cells (would recompute)"]
+            lines += [f"- {c.cell_id}" for c in self.misses]
+        if self.executed:
+            lines += ["", "## executed (largest estimated cost first)"]
+            lines += [f"- {c.cell_id}" for c in self.executed]
+        if self.drift:
+            lines += ["", "## drift"]
+            lines += [f"- {d.describe()}" for d in self.drift]
+        return "\n".join(lines)
+
+
+def load_pins(path: str | Path) -> dict[str, str]:
+    """Golden-pin file: JSON mapping cell ids onto expected digests.
+
+    Accepts either a flat ``{cell_id: digest}`` document or one nested
+    under a ``"pins"`` key (room for provenance metadata alongside).
+    """
+    doc = json.loads(Path(path).read_text())
+    pins = doc.get("pins", doc) if isinstance(doc, dict) else None
+    if not isinstance(pins, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in pins.items()
+    ):
+        raise ConfigurationError(
+            f"pin file {path} must map cell ids onto digest strings"
+        )
+    return pins
+
+
+class SweepFarm:
+    """Cache-first scheduler of experiment grids.
+
+    Parameters
+    ----------
+    cache:
+        The :class:`~repro.harness.results.ResultCache` probed for hits
+        and fed with recomputed cells.
+    executor:
+        A :class:`~repro.harness.parallel.ShardedExecutor`; only miss
+        cells ever reach it.
+    pins:
+        Optional ``{cell_id: digest}`` golden pins; any executed or hit
+        cell whose digest disagrees lands in the drift report.
+    """
+
+    def __init__(self, cache: ResultCache, executor, pins: dict[str, str] | None = None):
+        self.cache = cache
+        self.executor = executor
+        self.pins = dict(pins or {})
+
+    # ------------------------------------------------------------- probing
+    def probe(self, cells: list[FarmCell]) -> tuple[list[FarmCell], list[FarmCell]]:
+        """Split ``cells`` into (hits, misses) — metadata probes only."""
+        hits, misses = [], []
+        for cell in cells:
+            (hits if self.cache.contains(cell.key) else misses).append(cell)
+        return hits, misses
+
+    def _generation_index(self) -> dict[tuple, list[dict]]:
+        """All cache entries grouped by cell identity, one directory scan."""
+        index: dict[tuple, list[dict]] = {}
+        for meta in self.cache.iter_meta():
+            ident = (
+                meta.get("experiment_id"),
+                meta.get("scale"),
+                meta.get("seed"),
+                json.dumps(meta.get("overrides") or {}, sort_keys=True),
+            )
+            index.setdefault(ident, []).append(meta)
+        return index
+
+    @staticmethod
+    def _previous_generation(cell: FarmCell, index: dict) -> dict | None:
+        """Newest entry sharing ``cell``'s identity under a different key
+        — the same invocation as computed by an earlier code state."""
+        candidates = [
+            meta
+            for meta in index.get(cell.identity(), [])
+            if meta.get("key") != cell.key
+        ]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda m: m.get("created_at") or "")
+
+    def estimated_cost(self, cell: FarmCell, index: dict) -> float:
+        """Dispatch-priority estimate: the cell identity's last recorded
+        wall-clock when any generation of it is cached, else a scale
+        heuristic.  Ordering misses largest-first keeps the pool busy on
+        the long poles instead of discovering them last."""
+        metas = index.get(cell.identity(), [])
+        elapsed = [
+            m["elapsed_s"] for m in metas
+            if isinstance(m.get("elapsed_s"), (int, float))
+        ]
+        if elapsed:
+            return float(max(elapsed))
+        return _SCALE_COST.get(cell.scale, 1.0)
+
+    # ------------------------------------------------------------- running
+    def run(self, cells: list[FarmCell], *, probe_only: bool = False) -> FarmReport:
+        """One farm pass: probe everything, recompute only the misses,
+        consolidate drift.  With ``probe_only`` nothing is dispatched —
+        the report just names the stale cells."""
+        start = time.perf_counter()
+        index = self._generation_index()
+        hits, misses = self.probe(cells)
+        drift: list[DriftEntry] = []
+        executed: list[FarmCell] = []
+        for cell in hits:
+            self._check_pin(cell, self.cache.read_meta(cell.key), drift)
+        if not probe_only:
+            schedule = sorted(
+                misses,
+                key=lambda c: self.estimated_cost(c, index),
+                reverse=True,
+            )
+            for cell in schedule:
+                result = self.executor.run(
+                    cell.experiment_id,
+                    scale=cell.scale,
+                    seed=cell.seed,
+                    **cell.overrides,
+                )
+                executed.append(cell)
+                digest = result_digest(result)
+                self.cache.store(cell.key, result, overrides=cell.overrides)
+                self._check_drift(cell, digest, index, drift)
+        return FarmReport(
+            cells=list(cells),
+            hits=hits,
+            misses=misses,
+            executed=executed,
+            drift=drift,
+            elapsed_s=time.perf_counter() - start,
+            probe_only=probe_only,
+        )
+
+    # --------------------------------------------------------------- drift
+    def _check_drift(
+        self, cell: FarmCell, digest: str, index: dict, drift: list[DriftEntry]
+    ) -> None:
+        prev = self._previous_generation(cell, index)
+        if prev is not None and prev.get("digest") and prev["digest"] != digest:
+            try:
+                current = _fingerprint.closure_hashes(cell.experiment_id)
+            except Exception:  # noqa: BLE001 - delta is best-effort context
+                current = {}
+            drift.append(
+                DriftEntry(
+                    cell_id=cell.cell_id,
+                    key=cell.key,
+                    kind="previous-generation",
+                    old_digest=prev["digest"],
+                    new_digest=digest,
+                    changed_modules=_fingerprint.fingerprint_delta(
+                        prev.get("modules") or {}, current
+                    ),
+                )
+            )
+        pin = self.pins.get(cell.cell_id)
+        if pin is not None and pin != digest:
+            drift.append(
+                DriftEntry(
+                    cell_id=cell.cell_id,
+                    key=cell.key,
+                    kind="golden-pin",
+                    old_digest=pin,
+                    new_digest=digest,
+                )
+            )
+
+    def _check_pin(
+        self, cell: FarmCell, meta: dict | None, drift: list[DriftEntry]
+    ) -> None:
+        pin = self.pins.get(cell.cell_id)
+        if pin is None or meta is None:
+            return
+        digest = meta.get("digest")
+        if digest and digest != pin:
+            drift.append(
+                DriftEntry(
+                    cell_id=cell.cell_id,
+                    key=cell.key,
+                    kind="golden-pin",
+                    old_digest=pin,
+                    new_digest=digest,
+                )
+            )

@@ -1,0 +1,312 @@
+"""Module-granular code fingerprints over the static import graph.
+
+The result cache keys every experiment invocation on a *code fingerprint*
+so edited code can never serve stale results.  Hashing the whole package
+(the pre-farm behaviour) makes that guard maximally blunt: touching a
+docstring in ``experiments/_gnn.py`` invalidated ``fig1``'s key even
+though ``fig1`` never imports a line of GNN code, and iterating on one
+experiment forced cold re-runs of every other.  This module provides the
+granular alternative:
+
+* :func:`module_hashes` — one SHA-256 per ``*.py`` file of the package,
+  memoized per process and invalidated by ``(path, mtime_ns, size)`` so
+  repeated ``cache_key`` calls in a ``run-all``/farm sweep pay ``stat``
+  calls, not re-reads;
+* :func:`import_graph` — the static intra-package import graph, extracted
+  with :mod:`ast` (both ``import a.b`` and ``from .x import y`` forms,
+  any nesting depth, function-local imports included);
+* :func:`transitive_closure` — the set of package modules one module can
+  reach (cycle-safe breadth-first walk);
+* :func:`experiment_fingerprint` — the SHA-256 of exactly the modules in
+  the experiment's closure, rooted at its defining module
+  (:attr:`~repro.experiments.base.Experiment.source_module`).
+
+An edit therefore invalidates precisely the experiments whose closure
+contains the edited module: ``_gnn.py`` reaches only ``table7``/
+``table8``, ``fp/summation.py`` reaches every summation experiment, and
+the compiled-backend kernel source (``backend/csrc.py``) is inside every
+closure that dispatches through :mod:`repro.backend` — so a kernel edit
+still invalidates every experiment that could ride the compiled kernels
+(the backend *identity*, including the kernel fingerprint when the
+compiled backend is active, is additionally a separate cache-key field;
+see :func:`repro.harness.results.cache_key`).
+
+Static approximation
+--------------------
+Resolution maps each imported dotted name onto the **deepest package
+module that exists** (``from ..metrics.distribution import estimate_pdf``
+depends on ``repro.metrics.distribution``; ``from .base import register``
+depends on ``repro.experiments.base``).  Importing a submodule does *not*
+create a dependency on its ancestor ``__init__`` files: at runtime those
+do execute, but their work (re-exports, registry side effects) is
+result-neutral by construction — and including them would collapse the
+granularity, because ``repro/experiments/__init__.py`` imports every
+experiment module.  Conditional imports are treated as unconditional
+(closures over-approximate, never under-approximate).  Non-package
+imports (``numpy`` ...) are outside the fingerprint by design: the
+environment is not part of the code state.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from pathlib import Path
+
+from ..errors import ConfigurationError
+
+__all__ = [
+    "package_root",
+    "module_hashes",
+    "package_fingerprint",
+    "import_graph",
+    "transitive_closure",
+    "experiment_fingerprint",
+    "closure_hashes",
+    "fingerprint_delta",
+    "invalidate_memo",
+]
+
+
+def package_root() -> tuple[Path, str]:
+    """``(directory, package name)`` of the fingerprinted package.
+
+    Module-level so tests can monkeypatch it at a copied tree and exercise
+    real edits without touching the installed sources.
+    """
+    import repro
+
+    return Path(repro.__file__).resolve().parent, "repro"
+
+
+# ------------------------------------------------------------------ memos
+#: path -> ((mtime_ns, size), sha256 hexdigest)
+_HASH_MEMO: dict[Path, tuple[tuple[int, int], str]] = {}
+#: path -> ((mtime_ns, size), raw dotted import targets)
+_IMPORT_MEMO: dict[Path, tuple[tuple[int, int], tuple[str, ...]]] = {}
+
+
+def invalidate_memo() -> None:
+    """Drop every per-module memo (tests; never needed in production —
+    the ``(mtime_ns, size)`` signature self-invalidates on edits)."""
+    _HASH_MEMO.clear()
+    _IMPORT_MEMO.clear()
+
+
+def _stat_sig(path: Path) -> tuple[int, int]:
+    st = path.stat()
+    return (st.st_mtime_ns, st.st_size)
+
+
+def _scan(root: Path, package: str) -> dict[str, Path]:
+    """``{dotted module name: path}`` for every ``*.py`` under ``root``.
+
+    ``__init__.py`` maps onto its package's dotted name, so ``repro.ops``
+    names ``repro/ops/__init__.py``.
+    """
+    modules: dict[str, Path] = {}
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root)
+        parts = list(rel.parts)
+        if parts[-1] == "__init__.py":
+            parts = parts[:-1]
+        else:
+            parts[-1] = parts[-1][:-3]
+        modules[".".join([package, *parts]) if parts else package] = path
+    return modules
+
+
+def _hash_file(path: Path) -> str:
+    """Memoized content hash of one source file."""
+    sig = _stat_sig(path)
+    memo = _HASH_MEMO.get(path)
+    if memo is not None and memo[0] == sig:
+        return memo[1]
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+    _HASH_MEMO[path] = (sig, digest)
+    return digest
+
+
+def module_hashes(root: Path | None = None, package: str | None = None) -> dict[str, str]:
+    """Per-module content hashes, ``{dotted name: sha256}``."""
+    if root is None or package is None:
+        root, package = package_root()
+    return {name: _hash_file(path) for name, path in _scan(root, package).items()}
+
+
+def package_fingerprint(root: Path | None = None, package: str | None = None) -> str:
+    """Whole-package fingerprint: SHA-256 over every module's (name, hash).
+
+    The coarse fallback :func:`repro.harness.results.code_fingerprint`
+    serves for results that map onto no registered experiment.
+    """
+    return _combined(module_hashes(root, package))
+
+
+def _combined(hashes: dict[str, str]) -> str:
+    h = hashlib.sha256()
+    for name in sorted(hashes):
+        h.update(name.encode())
+        h.update(b"\0")
+        h.update(hashes[name].encode())
+        h.update(b"\0")
+    return h.hexdigest()
+
+
+# ------------------------------------------------------------ import graph
+def _import_targets(path: Path, module: str, is_package: bool) -> tuple[str, ...]:
+    """Raw absolute dotted names ``module``'s source imports (memoized).
+
+    Relative imports are resolved against the module's package per the
+    language rules (level 1 = own package, each further level one package
+    up).  ``from BASE import NAME`` contributes ``BASE.NAME`` — when
+    ``NAME`` is a submodule, longest-prefix resolution lands on it; when
+    it is an attribute, resolution falls back onto ``BASE`` (whose source
+    defines the attribute).  The bare ``BASE`` is recorded only for
+    ``import *`` (the names live in ``BASE``'s own namespace); adding it
+    unconditionally would make every ``from . import sibling`` depend on
+    the package ``__init__`` and collapse the granularity.
+    """
+    sig = _stat_sig(path)
+    memo = _IMPORT_MEMO.get(path)
+    if memo is not None and memo[0] == sig:
+        return memo[1]
+    tree = ast.parse(path.read_bytes(), filename=str(path))
+    targets: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                targets.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                parts = module.split(".")
+                if not is_package:
+                    parts = parts[:-1]
+                drop = node.level - 1
+                if drop >= len(parts):
+                    continue  # beyond the package root: unimportable
+                if drop:
+                    parts = parts[: len(parts) - drop]
+                base = ".".join(parts)
+                if node.module:
+                    base = f"{base}.{node.module}"
+            if not base:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    targets.add(base)
+                else:
+                    targets.add(f"{base}.{alias.name}")
+    out = tuple(sorted(targets))
+    _IMPORT_MEMO[path] = (sig, out)
+    return out
+
+
+def _resolve(target: str, modules: dict[str, Path]) -> str | None:
+    """Deepest existing package module named by a dotted import target."""
+    parts = target.split(".")
+    while parts:
+        candidate = ".".join(parts)
+        if candidate in modules:
+            return candidate
+        parts.pop()
+    return None
+
+
+def import_graph(
+    root: Path | None = None, package: str | None = None
+) -> dict[str, frozenset[str]]:
+    """Static intra-package import graph: ``{module: direct deps}``."""
+    if root is None or package is None:
+        root, package = package_root()
+    modules = _scan(root, package)
+    graph: dict[str, frozenset[str]] = {}
+    for name, path in modules.items():
+        is_package = path.name == "__init__.py"
+        deps = {
+            resolved
+            for target in _import_targets(path, name, is_package)
+            if (resolved := _resolve(target, modules)) is not None
+            and resolved != name
+        }
+        graph[name] = frozenset(deps)
+    return graph
+
+
+def transitive_closure(
+    module: str,
+    graph: dict[str, frozenset[str]] | None = None,
+    *,
+    root: Path | None = None,
+    package: str | None = None,
+) -> frozenset[str]:
+    """Every package module ``module`` can reach (itself included).
+
+    Breadth-first over :func:`import_graph`; the seen-set makes import
+    cycles (``a <-> b``) terminate with both members in both closures.
+    """
+    if graph is None:
+        graph = import_graph(root, package)
+    if module not in graph:
+        raise ConfigurationError(
+            f"module {module!r} is not part of the fingerprinted package"
+        )
+    seen = {module}
+    frontier = [module]
+    while frontier:
+        deps = graph[frontier.pop()]
+        fresh = deps - seen
+        seen |= fresh
+        frontier.extend(fresh)
+    return frozenset(seen)
+
+
+# ------------------------------------------------- experiment fingerprints
+def closure_hashes(
+    experiment_id: str,
+    *,
+    root: Path | None = None,
+    package: str | None = None,
+) -> dict[str, str]:
+    """``{module: hash}`` for every module in the experiment's closure.
+
+    The raw material of :func:`experiment_fingerprint`, stored in cache
+    entries so a later drift report can name the exact modules whose
+    edits invalidated a cell (:func:`fingerprint_delta`).
+    """
+    from ..experiments import get_experiment
+
+    module = get_experiment(experiment_id).source_module
+    hashes = module_hashes(root, package)
+    closure = transitive_closure(module, root=root, package=package)
+    return {name: hashes[name] for name in sorted(closure)}
+
+
+def experiment_fingerprint(
+    experiment_id: str,
+    *,
+    root: Path | None = None,
+    package: str | None = None,
+) -> str:
+    """SHA-256 over exactly the modules the experiment's code can reach.
+
+    An edit to a module outside the closure leaves this fingerprint — and
+    therefore every cache key derived from it — unchanged; an edit to any
+    module inside it (however transitively imported) changes it.
+    """
+    return _combined(closure_hashes(experiment_id, root=root, package=package))
+
+
+def fingerprint_delta(old: dict[str, str], new: dict[str, str]) -> tuple[str, ...]:
+    """Modules whose hashes differ between two closure snapshots.
+
+    Sorted union of changed, added and removed module names — the
+    "responsible modules" line of the farm's drift report.
+    """
+    return tuple(sorted(
+        name
+        for name in set(old) | set(new)
+        if old.get(name) != new.get(name)
+    ))

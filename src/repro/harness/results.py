@@ -8,19 +8,31 @@ run.
 
 The cache (:class:`ResultCache`) is content-addressed: the key is the
 SHA-256 of ``(experiment id, scale, seed, parameter overrides, code
-fingerprint, backend identity)``, where the code fingerprint hashes every
-``*.py`` file of the installed ``repro`` package (:func:`code_fingerprint`)
-and the backend identity names the resolved compute backend plus — for the
+fingerprint, backend identity)``, where the code fingerprint is
+**module-granular** (:mod:`repro.harness.fingerprint`): it hashes exactly
+the modules in the experiment's static import closure
+(:func:`~repro.harness.fingerprint.experiment_fingerprint`), so an edit
+invalidates precisely the experiments that can reach the edited module —
+a ``_gnn.py`` edit misses only the GNN tables' keys while every summation
+experiment stays hot.  Results that map onto no registered experiment
+fall back to the whole-package hash (:func:`code_fingerprint`).  The
+backend identity names the resolved compute backend plus — for the
 compiled backend — the kernel-source fingerprint
 (:func:`repro.backend.cache_identity`).  Experiments are pure functions of
 that tuple — results are replayable from the master seed — so a cache hit
 is bit-exactly the result a recompute would produce, and any source change
-invalidates every key at once.  Backends produce identical bits, but key
-hygiene must not depend on that: a numpy-produced entry is never served to
-a compiled run (or vice versa), and a kernel-source edit invalidates every
-compiled key.  Corrupted
+an experiment could observe invalidates its keys.  Backends produce
+identical bits, but key hygiene must not depend on that: a numpy-produced
+entry is never served to a compiled run (or vice versa), and a
+kernel-source edit invalidates every compiled key.  Corrupted
 or mismatched entries are treated as misses (with a warning), never as
 errors.
+
+Each entry leads with a compact ``cache`` metadata block (identity,
+fingerprints, closure module hashes, payload digest, elapsed seconds) so
+the sweep farm (:mod:`repro.harness.farm`) can probe hit/miss state and
+detect digest drift (:meth:`ResultCache.contains` /
+:meth:`ResultCache.read_meta`) without deserialising result payloads.
 """
 
 from __future__ import annotations
@@ -36,14 +48,20 @@ from pathlib import Path
 
 from ..errors import ConfigurationError, ExperimentError
 from ..experiments.base import ExperimentResult
+from . import fingerprint as _fingerprint
 
 __all__ = [
     "save_result",
     "load_result",
     "code_fingerprint",
+    "experiment_fingerprint",
+    "result_digest",
     "cache_key",
     "ResultCache",
 ]
+
+#: Re-export: the module-granular fingerprint the cache keys on.
+experiment_fingerprint = _fingerprint.experiment_fingerprint
 
 
 def _result_from_dict(data: dict, origin) -> ExperimentResult:
@@ -118,31 +136,45 @@ def load_result(path: str | Path) -> ExperimentResult:
 
 # --------------------------------------------------------------------- cache
 
-_FINGERPRINT_CACHE: str | None = None
-
 
 def code_fingerprint() -> str:
     """SHA-256 over every ``*.py`` source file of the ``repro`` package.
 
-    The staleness guard of the result cache: any source edit — down to a
-    docstring — changes the fingerprint and therefore every cache key, so
-    the cache can never serve results computed by different code.  The
-    value is computed once per process (source files do not change under
-    a running experiment).
+    The coarse staleness guard: any source edit — down to a docstring —
+    changes this fingerprint.  Since the farm PR it is only the
+    *fallback* key material, for results that map onto no registered
+    experiment; experiment invocations key on the module-granular
+    :func:`experiment_fingerprint` instead.  Per-module hashes are
+    memoized per process and invalidated by ``(path, mtime_ns, size)``
+    (:mod:`repro.harness.fingerprint`), so repeated calls cost ``stat``
+    syscalls, not re-reads.
     """
-    global _FINGERPRINT_CACHE
-    if _FINGERPRINT_CACHE is None:
-        import repro
+    return _fingerprint.package_fingerprint()
 
-        root = Path(repro.__file__).resolve().parent
-        h = hashlib.sha256()
-        for path in sorted(root.rglob("*.py")):
-            h.update(path.relative_to(root).as_posix().encode())
-            h.update(b"\0")
-            h.update(path.read_bytes())
-            h.update(b"\0")
-        _FINGERPRINT_CACHE = h.hexdigest()
-    return _FINGERPRINT_CACHE
+
+def _fingerprint_for(experiment_id: str) -> str:
+    """Module-granular fingerprint for ``experiment_id``, falling back to
+    the whole-package hash for ids outside the experiment registry."""
+    try:
+        return _fingerprint.experiment_fingerprint(experiment_id)
+    except (ExperimentError, ConfigurationError):
+        return code_fingerprint()
+
+
+def result_digest(result: ExperimentResult) -> str:
+    """Canonical SHA-256 of a result's scientific payload.
+
+    Hashes exactly the ``{rows, extra}`` serialisation the golden-pin
+    suite (``tests/test_golden_experiments.py``) hashes, so farm drift
+    digests and golden pins live in one digest space.  Stable across a
+    JSON round-trip (floats serialise shortest-round-trip), so a cached
+    result and the run that produced it share one digest.
+    """
+    blob = json.dumps(
+        {"rows": result.rows, "extra": result.extra},
+        sort_keys=True, separators=(",", ":"), default=str,
+    )
+    return hashlib.sha256(blob.encode()).hexdigest()
 
 
 def _canonical_override(value, path: str):
@@ -206,6 +238,12 @@ def cache_key(
     equal parameter sets share one key regardless of spelling (tuple vs
     list, NumPy scalar vs Python scalar) and non-serialisable values fail
     loudly instead of keying on their repr.
+
+    The default ``fingerprint`` is the **experiment's own**
+    (:func:`experiment_fingerprint` over its static import closure) —
+    keys of experiments that cannot observe an edit survive it.  Pass
+    ``fingerprint`` explicitly to pin a key to a specific code state
+    (tests; the farm's previous-generation probes).
     """
     from .. import backend as _backend
 
@@ -216,7 +254,7 @@ def cache_key(
         "overrides": {
             k: _canonical_override(v, k) for k, v in (overrides or {}).items()
         },
-        "code_fingerprint": fingerprint or code_fingerprint(),
+        "code_fingerprint": fingerprint or _fingerprint_for(experiment_id),
         "backend": _backend.cache_identity(),
     }
     blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
@@ -239,6 +277,88 @@ class ResultCache:
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
+
+    #: Bytes read when probing an entry's leading ``cache`` metadata
+    #: block.  Metadata (including a full closure-module hash map) stays
+    #: well under this; payloads can be megabytes and are never read by
+    #: a probe.
+    _META_PROBE_BYTES = 262_144
+
+    def read_meta(self, key: str) -> dict | None:
+        """The ``cache`` metadata block for ``key`` — without the payload.
+
+        Reads at most :attr:`_META_PROBE_BYTES` from the head of the
+        entry (the metadata block is serialised first) and decodes just
+        the embedded ``"cache"`` object; only a metadata block larger
+        than the probe window degrades to a full read.  Returns ``None``
+        for missing, corrupted or key-mismatched entries — the probe
+        never warns, because the caller's next step (a full
+        :meth:`lookup`, or a recompute) handles the miss.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, "r") as fh:
+                head = fh.read(self._META_PROBE_BYTES)
+        except OSError:
+            return None
+        meta = self._decode_meta(head)
+        if meta is None and len(head) == self._META_PROBE_BYTES:
+            try:  # pragma: no cover - oversized metadata block
+                meta = json.loads(path.read_text()).get("cache")
+            except (ValueError, OSError):
+                meta = None
+        if not isinstance(meta, dict) or meta.get("key") != key:
+            return None
+        return meta
+
+    @staticmethod
+    def _decode_meta(head: str) -> dict | None:
+        """Decode the leading ``"cache": {...}`` object from an entry head."""
+        marker = head.find('"cache"')
+        if marker < 0:
+            return None
+        start = head.find("{", marker)
+        if start < 0:
+            return None
+        try:
+            meta, _ = json.JSONDecoder().raw_decode(head, start)
+        except ValueError:
+            return None
+        return meta if isinstance(meta, dict) else None
+
+    def contains(self, key: str) -> bool:
+        """Metadata-only hit probe: ``True`` iff a well-formed entry for
+        ``key`` exists.  The farm probes thousands of grid cells through
+        this before touching a worker; like :meth:`lookup`, a positive
+        probe refreshes the entry's mtime so probed-hot entries survive
+        the age GC.
+        """
+        if self.read_meta(key) is None:
+            return False
+        try:
+            self.path_for(key).touch()
+        except OSError:  # pragma: no cover - read-only cache
+            pass
+        return True
+
+    def iter_meta(self):
+        """Yield the metadata block of every key-shaped entry.
+
+        The farm's previous-generation scan: one pass over the directory,
+        reading only metadata heads, never payloads.  Malformed entries
+        are skipped silently (they degrade to lookup-time misses).
+        """
+        try:
+            entries = sorted(self.directory.glob("*.json"))
+        except OSError:  # pragma: no cover - vanished directory
+            return
+        for path in entries:
+            stem = path.stem
+            if len(stem) != 64 or any(c not in "0123456789abcdef" for c in stem):
+                continue
+            meta = self.read_meta(stem)
+            if meta is not None:
+                yield meta
 
     def lookup(self, key: str) -> ExperimentResult | None:
         """Return the cached result for ``key``, or ``None`` on a miss."""
@@ -304,19 +424,43 @@ class ResultCache:
             except OSError:  # pragma: no cover - concurrent gc
                 pass
 
-    def store(self, key: str, result: ExperimentResult) -> Path:
+    def store(
+        self, key: str, result: ExperimentResult, *, overrides: dict | None = None
+    ) -> Path:
         """Write ``result`` under ``key``; age-GCs the directory once per
-        instance (:meth:`_gc_old_entries`); returns the entry path."""
+        instance (:meth:`_gc_old_entries`); returns the entry path.
+
+        The entry's leading metadata block records the full cell identity
+        (id, scale, seed, canonical ``overrides``), both fingerprints,
+        the closure's per-module hashes, the payload digest and the
+        elapsed wall-clock — everything the farm needs for hit probes,
+        previous-generation drift comparison (which modules moved, did
+        the bits move) and cost-ordered scheduling, all without parsing
+        a single payload.
+        """
         self.directory.mkdir(parents=True, exist_ok=True)
         self._gc_old_entries()
+        try:
+            exp_fp = _fingerprint.experiment_fingerprint(result.experiment_id)
+            modules = _fingerprint.closure_hashes(result.experiment_id)
+        except (ExperimentError, ConfigurationError):
+            exp_fp, modules = None, None  # unregistered id: coarse key only
         entry = {
             "cache": {
                 "key": key,
                 "experiment_id": result.experiment_id,
                 "scale": result.scale,
                 "seed": result.seed,
+                "overrides": {
+                    k: _canonical_override(v, k)
+                    for k, v in (overrides or {}).items()
+                },
                 "code_fingerprint": code_fingerprint(),
+                "experiment_fingerprint": exp_fp,
+                "digest": result_digest(result),
+                "elapsed_s": result.elapsed_s,
                 "created_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+                "modules": modules,
             },
             "result": result.as_dict(),
         }

@@ -13,8 +13,10 @@ from repro.harness import (
     TimingStats,
     cache_key,
     code_fingerprint,
+    experiment_fingerprint,
     grid,
     load_result,
+    result_digest,
     save_result,
     time_callable,
 )
@@ -305,6 +307,99 @@ class TestResultCache:
             p for p in (tmp_path / "cache").iterdir() if p.suffix == ".tmp"
         ] + [p for p in (tmp_path / "archive").iterdir() if p.suffix == ".tmp"]
         assert leftovers == []
+
+
+class TestCacheMetadataProbes:
+    """The farm-facing metadata surface: ``read_meta`` / ``contains`` /
+    ``iter_meta`` answer hit and drift questions from entry heads only."""
+
+    def _result(self, seed=0, **overrides):
+        return get_experiment("table2").run(ctx=RunContext(seed=seed), **overrides)
+
+    def test_read_meta_records_the_cell_identity(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("table2", "default", 0, {"n_rows": (1, 2)})
+        res = self._result()
+        cache.store(key, res, overrides={"n_rows": (1, 2)})
+        meta = cache.read_meta(key)
+        assert meta["key"] == key
+        assert meta["experiment_id"] == "table2"
+        assert meta["scale"] == "default" and meta["seed"] == 0
+        assert meta["overrides"] == {"n_rows": [1, 2]}  # canonical JSON form
+        assert meta["digest"] == result_digest(res)
+        assert meta["experiment_fingerprint"] == experiment_fingerprint("table2")
+        assert meta["modules"]["repro.experiments.table2"]
+        assert "rows" not in meta  # metadata, never payload
+
+    def test_read_meta_probe_reads_only_the_head(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("table2", "default", 0)
+        path = cache.store(key, self._result())
+        # Truncating the payload tail of the entry must not bother the
+        # probe: the metadata block leads the document.
+        text = path.read_text()
+        path.write_text(text[:-100])
+        assert cache.read_meta(key) is not None
+        with pytest.warns(UserWarning, match="corrupted"):
+            assert cache.lookup(key) is None  # full parse (rightly) fails
+
+    def test_read_meta_misses_are_none_and_quiet(self, tmp_path):
+        import warnings
+
+        cache = ResultCache(tmp_path)
+        key = cache_key("table2", "default", 0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert cache.read_meta(key) is None  # absent
+            cache.path_for(key).write_text("not json")
+            assert cache.read_meta(key) is None  # corrupted
+            assert cache.contains(key) is False
+
+    def test_read_meta_rejects_key_mismatch(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = cache_key("table2", "default", 0)
+        other = cache_key("table2", "default", 1)
+        path = cache.store(key, self._result())
+        path.rename(cache.path_for(other))  # entry claims the wrong key
+        assert cache.read_meta(other) is None
+
+    def test_contains_refreshes_entry_mtime(self, tmp_path):
+        import os
+
+        cache = ResultCache(tmp_path)
+        key = cache_key("table2", "default", 0)
+        path = cache.store(key, self._result())
+        os.utime(path, times=(path.stat().st_atime, path.stat().st_mtime - 3600.0))
+        before = path.stat().st_mtime
+        assert cache.contains(key) is True
+        assert path.stat().st_mtime > before  # probed-hot entries survive GC
+
+    def test_iter_meta_yields_only_wellformed_key_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        k1 = cache_key("table2", "default", 0)
+        k2 = cache_key("table2", "default", 1)
+        cache.store(k1, self._result())
+        cache.store(k2, self._result(seed=1))
+        (tmp_path / "notes.json").write_text("{}")  # not key-shaped
+        (tmp_path / ("f" * 64 + ".json")).write_text("garbage")  # corrupt
+        keys = {meta["key"] for meta in cache.iter_meta()}
+        assert keys == {k1, k2}
+
+    def test_unregistered_id_falls_back_to_package_fingerprint(self, tmp_path):
+        from repro.experiments.base import ExperimentResult
+
+        cache = ResultCache(tmp_path)
+        res = ExperimentResult(
+            experiment_id="not-registered", title="t", scale="default",
+            params={}, rows=[{"v": 1}], seed=0,
+        )
+        key = cache_key("not-registered", "default", 0)
+        cache.store(key, res)
+        meta = cache.read_meta(key)
+        assert meta["experiment_fingerprint"] is None
+        assert meta["modules"] is None
+        assert meta["code_fingerprint"] == code_fingerprint()
+        assert cache.lookup(key) is not None
 
 
 def _race_writer(directory: str, key: str, n_stores: int) -> None:
