@@ -1,0 +1,32 @@
+"""Bench E-COLL: regenerate the collective allreduce sweep.
+
+The collsweep workload is batched from day one: one
+``device_partial_sums_runs`` call per rank (the whole run axis folded by
+``batched_atomic_fold``), one ``arrival_orders`` matrix per topology
+shared across the precision axis, and one batched fold per (topology,
+precision) cell.  The recorded mean is the cost of the full
+topology x precision x device x run grid, so per-run Python overhead
+creeping back into the collective layer trips the regression gate.
+"""
+
+from repro.experiments import get_experiment
+
+from conftest import run_once
+
+DEVICES = ("v100", "gh200", "mi250x", "cpu")
+
+
+def test_collsweep_regeneration(benchmark, ctx, scale):
+    kwargs = {"scale": scale, "ctx": ctx}
+    if scale == "default":
+        # Run-heavy reduced scale: the batched engine's target regime.
+        kwargs.update(devices=DEVICES, n_elements=8_192, n_runs=1_500)
+    result = run_once(benchmark, get_experiment("collsweep").run, **kwargs)
+    rows = {(r["topology"], r["precision"]): r for r in result.rows}
+    assert len(rows) == 12
+    # Paper shape: the deterministic f64 reference is topology-invariant
+    # while the policy-driven f64 cells show FPNA-scale spread.
+    assert result.extra["deterministic_f64_topology_equivalent"] is True
+    f64_spreads = [rows[(t, "f64")]["distinct_sums"]
+                   for t in ("ring", "tree", "butterfly")]
+    assert min(f64_spreads) > 1

@@ -226,6 +226,43 @@ def main() -> None:
               f"warm executed {warm.n_executed} "
               f"(hits {warm.n_hits}, drift {len(warm.drift)})")
 
+    # -- 10. multi-device collectives ---------------------------------------
+    # collsweep stacks the cross-device layer on top of the intra-kernel
+    # story: every participating device SPA-sums its chunk of one array,
+    # then a collective (ring / tree / butterfly allreduce) folds the
+    # per-device partials in a message-arrival order drawn from a
+    # pluggable policy — in-order (deterministic), uniform-random, or
+    # load-skewed.  Edge delays draw one f32 word per (run, edge) cell on
+    # an anchored per-topology plane, partials draw per-(device, run)
+    # cells, so any run window and any device subset replays
+    # bit-identically, and the deterministic policy collapses all three
+    # topologies to the same bit-exact result.  CLI equivalent:
+    #
+    #   repro-experiments run collsweep --devices v100,gh200,cpu --workers 2
+    #
+    coll = get_experiment("collsweep").run(
+        ctx=repro.RunContext(seed=0),
+        devices=("v100", "gh200", "cpu"),
+        n_elements=4_096, n_runs=60,
+    )
+    print("\ncollective allreduce variability (uniform arrival policy):")
+    for row in coll.rows:
+        print(f"  {row['topology']:>9s}/{row['precision']:<4s}  "
+              f"distinct sums = {row['distinct_sums']:3d}  "
+              f"spread = {row['spread_ulps']:.0f} ulp")
+    print("  deterministic in-order f64 reference bit-exact across "
+          f"topologies: {coll.extra['deterministic_f64_topology_equivalent']}")
+
+    # The building blocks are importable directly:
+    from repro.gpusim import allreduce_runs
+
+    x_c = repro.RunContext(seed=7).data().uniform(0, 10, 2_048)
+    for topo in ("ring", "tree", "butterfly"):
+        sums = allreduce_runs(x_c, ("v100", "mi250x", "cpu"), 5,
+                              repro.RunContext(seed=7), topology=topo,
+                              precision="bf16", policy="skewed", skew=2.0)
+        print(f"  {topo:>9s} bf16 skewed-policy sums: {sums}")
+
 
 if __name__ == "__main__":
     main()

@@ -21,6 +21,7 @@ figS1      supplementary — SPA Vs across GPU families (paper repo artifact)
 cgdiv      extension — CG iterate divergence (§I narrative)
 warpsweep  extension — AO variability under the warp-32/64 ablation pair
 seedens    extension — seed-ensemble SPA Vs grid (seeds x devices)
+collsweep  extension — collective allreduce variability (topology x precision)
 =========  ==================================================================
 
 Run from Python::
@@ -56,6 +57,7 @@ from . import (  # noqa: F401
     cgdiv,
     warp_sweep,
     seed_ensemble,
+    collective_sweep,
 )
 
 __all__ = [

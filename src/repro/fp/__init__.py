@@ -10,6 +10,9 @@ This package is the numerical substrate for the paper's Section III:
   of random permutations on a serial sum.
 * :mod:`repro.fp.ulp` — ULP utilities and bit-pattern helpers used by tests
   and by the variability analyses.
+* :mod:`repro.fp.lowprec` — bfloat16/float16 round-to-nearest-even
+  quantisation and step-rounded folds (the narrow accumulation variants of
+  the collective combine step).
 """
 
 from .summation import (
@@ -35,6 +38,13 @@ from .compensated import (
 )
 from .permutation import PermutationEffect, permutation_effects, permutation_spread
 from .ulp import ulp, ulp_distance, bits_of, relative_error_in_ulps
+from .lowprec import (
+    round_to_bf16,
+    bf16_bits,
+    is_bf16,
+    bf16_ulp_distance,
+    bf16_fold_runs,
+)
 from .analysis import (
     SummationBounds,
     bounds_for,
@@ -69,6 +79,11 @@ __all__ = [
     "ulp_distance",
     "bits_of",
     "relative_error_in_ulps",
+    "round_to_bf16",
+    "bf16_bits",
+    "is_bf16",
+    "bf16_ulp_distance",
+    "bf16_fold_runs",
     "SummationBounds",
     "bounds_for",
     "expected_vs_std",

@@ -59,9 +59,12 @@ ladder, the one-stream-per-solve sequence of the CG run batch, the
 one-stream-per-training-run layout of the GNN stack, the anchored
 per-(device, array) **device planes** of the cross-architecture sweeps
 (whole run axis drawn from one cell stream: raw rotations up front, then
-prefix-stable float32 block rows), and the run-granular
-per-(device, array, run) plane variant of the thread-order sweeps — are
-catalogued in :mod:`repro.gpusim.scheduler`'s module docstring.
+prefix-stable float32 block rows), the run-granular
+per-(device, array, run) plane variant of the thread-order sweeps, and
+the collective layer's per-(run, edge) delay cells plus per-(device,
+run) rank-partial planes (:mod:`repro.gpusim.collectives` — one float32
+word per edge cell, nothing under the deterministic in-order policy) —
+are catalogued in :mod:`repro.gpusim.scheduler`'s module docstring.
 Experiments *declare* which layout each axis uses instead of re-wiring
 it: the axis-declaration contract (``Experiment.axes`` resolved by
 :func:`repro.experiments.axes.plan_sweep`) maps declared order to ladder

@@ -14,8 +14,16 @@ from ..errors import DTypeError
 
 __all__ = ["ulp", "ulp_distance", "bits_of", "relative_error_in_ulps"]
 
-_INT_FOR = {np.dtype(np.float32): np.int32, np.dtype(np.float64): np.int64}
-_UINT_FOR = {np.dtype(np.float32): np.uint32, np.dtype(np.float64): np.uint64}
+_INT_FOR = {
+    np.dtype(np.float16): np.int16,
+    np.dtype(np.float32): np.int32,
+    np.dtype(np.float64): np.int64,
+}
+_UINT_FOR = {
+    np.dtype(np.float16): np.uint16,
+    np.dtype(np.float32): np.uint32,
+    np.dtype(np.float64): np.uint64,
+}
 
 
 def ulp(x) -> np.ndarray | float:
@@ -36,7 +44,7 @@ def bits_of(x) -> np.ndarray | int:
     """Reinterpret float(s) as raw integer bit patterns (same width)."""
     arr = np.asarray(x)
     if arr.dtype not in _UINT_FOR:
-        raise DTypeError(f"bits_of supports float32/float64, got {arr.dtype}")
+        raise DTypeError(f"bits_of supports float16/float32/float64, got {arr.dtype}")
     out = arr.view(_UINT_FOR[arr.dtype])
     return int(out) if arr.ndim == 0 else out
 

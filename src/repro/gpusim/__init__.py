@@ -20,6 +20,9 @@ exactly that layer:
   host synchronisation points (the TPRC mechanism).
 * :mod:`repro.gpusim.costmodel` — analytic timing model calibrated against
   the paper's Table 4 / 6 / 8 measurements.
+* :mod:`repro.gpusim.collectives` — multi-device allreduce (ring / tree /
+  butterfly) with pluggable message-arrival policies: the cross-device
+  layer of the reduction-order story.
 """
 
 from .device import DeviceSpec, get_device, list_devices, register_device
@@ -30,6 +33,22 @@ from .atomics import AtomicAccumulator, RetirementCounter, atomic_fold, batched_
 from .stream import Stream, Event
 from .costmodel import CostModel, TimingSample
 from .memory import GlobalMemory, SharedMemory, RaceRecord
+from .collectives import (
+    Topology,
+    RingAllReduce,
+    TreeAllReduce,
+    ButterflyAllReduce,
+    get_topology,
+    ArrivalPolicy,
+    InOrderArrival,
+    UniformArrival,
+    LoadSkewedArrival,
+    get_arrival_policy,
+    arrival_orders,
+    collective_fold_runs,
+    device_partial_sums_runs,
+    allreduce_runs,
+)
 
 __all__ = [
     "DeviceSpec",
@@ -53,4 +72,18 @@ __all__ = [
     "GlobalMemory",
     "SharedMemory",
     "RaceRecord",
+    "Topology",
+    "RingAllReduce",
+    "TreeAllReduce",
+    "ButterflyAllReduce",
+    "get_topology",
+    "ArrivalPolicy",
+    "InOrderArrival",
+    "UniformArrival",
+    "LoadSkewedArrival",
+    "get_arrival_policy",
+    "arrival_orders",
+    "collective_fold_runs",
+    "device_partial_sums_runs",
+    "allreduce_runs",
 ]

@@ -116,6 +116,27 @@ members (``seedens``) sit above both layouts: each member owns a whole
 child ``RunContext(seed=member_seed)`` and anchors its planes at 0, so
 the member axis consumes neither the master ladder nor any plane.
 
+The collective layer (:mod:`repro.gpusim.collectives`, ``collsweep``)
+adds two more anchored plane layouts on the same cell contract:
+
+* **per-(run, edge) delay cells** — plane ``coll-edge:<topology>``, cell
+  ``r * n_edges + e`` (edge enumeration order is part of the topology
+  contract); each cell yields exactly one ``random(dtype=float32)`` word
+  to the arrival policy's delay draw, and the deterministic ``inorder``
+  policy constructs no streams at all (the usual
+  deterministic-draws-nothing rule, one layer up).
+* **per-(device, run) rank partials** — plane ``coll-rank:<device>``,
+  cell ``r``; each cell feeds one rank's intra-kernel combine schedule
+  (rotation draw, then the float32 block vector — the scalar per-run
+  sequence), with deterministic devices pooling one schedule across the
+  run axis.  Keying the plane by device name alone keeps a rank's draws
+  invariant under the participating device subset.
+
+Both layouts are run-granular — no two runs share a stream on any plane
+— so any collective run window is bit-identical to slicing the full
+sweep by construction; ``tests/test_collectives.py`` pins the window
+slicing, the subset invariance and the in-order identity limit.
+
 The axis-declaration contract
 -----------------------------
 Experiments no longer wire these layouts by hand: they declare their

@@ -96,7 +96,7 @@ from ..errors import ConfigurationError, ReproError
 from ..experiments import get_experiment, list_experiments, to_json, to_markdown
 from .farm import SweepFarm, device_overrides_for, load_pins, plan_grid
 from .parallel import ShardedExecutor
-from .results import ResultCache, cache_key, save_result
+from .results import ResultCache, _atomic_write_text, cache_key, save_result
 
 __all__ = ["main", "build_parser", "default_cache_dir"]
 
@@ -314,7 +314,9 @@ def _run_farm(executor, cache, args) -> int:
     if args.report_json:
         path = Path(args.report_json)
         path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(report.as_dict(), indent=2) + "\n")
+        # Atomic like ResultCache.store: a killed farm must not leave a
+        # truncated report for a CI consumer to half-parse.
+        _atomic_write_text(path, json.dumps(report.as_dict(), indent=2) + "\n")
         print(f"[report {path}]", file=sys.stderr)
     if args.fail_on_drift and report.drift:
         return 1

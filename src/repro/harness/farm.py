@@ -82,12 +82,20 @@ def device_overrides_for(
     grid expansion passes ``strict=False`` and leaves them untouched.
     """
     from ..experiments import get_experiment
-    from ..gpusim.device import get_device
+    from ..gpusim.device import list_devices
 
     if not names:
         return {}
-    for name in names:
-        get_device(name)  # fail fast on unknown devices
+    registry = list_devices()
+    unknown = sorted({str(n).lower() for n in names} - set(registry))
+    if unknown:
+        # Named here, at entry, rather than deep in a dispatched sweep:
+        # a farm grid or CLI run with a typo'd device must fail before
+        # any cell executes.
+        raise ConfigurationError(
+            f"unknown device name(s) {unknown} in device list; "
+            f"registered devices: {registry}"
+        )
     params = get_experiment(experiment_id).params_for(scale)
     if "devices" in params:
         return {"devices": tuple(names)}

@@ -278,35 +278,44 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
 
-    #: Bytes read when probing an entry's leading ``cache`` metadata
-    #: block.  Metadata (including a full closure-module hash map) stays
-    #: well under this; payloads can be megabytes and are never read by
-    #: a probe.
+    #: Initial read when probing an entry's leading ``cache`` metadata
+    #: block.  Metadata (including a full closure-module hash map)
+    #: usually stays well under this; when it doesn't, the probe grows
+    #: the read geometrically until the block decodes — a fixed bound
+    #: here used to turn oversized-metadata entries into permanent
+    #: misses that the farm kept re-dispatching.
     _META_PROBE_BYTES = 262_144
 
     def read_meta(self, key: str) -> dict | None:
         """The ``cache`` metadata block for ``key`` — without the payload.
 
-        Reads at most :attr:`_META_PROBE_BYTES` from the head of the
-        entry (the metadata block is serialised first) and decodes just
-        the embedded ``"cache"`` object; only a metadata block larger
-        than the probe window degrades to a full read.  Returns ``None``
-        for missing, corrupted or key-mismatched entries — the probe
-        never warns, because the caller's next step (a full
-        :meth:`lookup`, or a recompute) handles the miss.
+        Reads :attr:`_META_PROBE_BYTES` from the head of the entry (the
+        metadata block is serialised first) and decodes just the embedded
+        ``"cache"`` object; if the block is truncated at the window edge,
+        the read grows geometrically (never JSON-parsing the payload as a
+        whole) until the object decodes or the file ends.  A head window
+        with no ``"cache"`` marker at all is provably not a well-formed
+        entry — the payload starts after the metadata block — so the
+        probe stops without scanning further.  Returns ``None`` for
+        missing, corrupted or key-mismatched entries — the probe never
+        warns, because the caller's next step (a full :meth:`lookup`, or
+        a recompute) handles the miss.
         """
         path = self.path_for(key)
         try:
             with open(path, "r") as fh:
                 head = fh.read(self._META_PROBE_BYTES)
+                if '"cache"' not in head:
+                    return None
+                meta = self._decode_meta(head)
+                while meta is None:
+                    chunk = fh.read(3 * len(head))
+                    if not chunk:
+                        break
+                    head += chunk
+                    meta = self._decode_meta(head)
         except OSError:
             return None
-        meta = self._decode_meta(head)
-        if meta is None and len(head) == self._META_PROBE_BYTES:
-            try:  # pragma: no cover - oversized metadata block
-                meta = json.loads(path.read_text()).get("cache")
-            except (ValueError, OSError):
-                meta = None
         if not isinstance(meta, dict) or meta.get("key") != key:
             return None
         return meta

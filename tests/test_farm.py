@@ -357,3 +357,48 @@ class TestFarmCli:
         capsys.readouterr()
         assert main(["run", "table2", "--cache-dir", cache_dir]) == 0
         assert "[cache hit]" in capsys.readouterr().err
+
+    def test_report_json_is_written_atomically(self, tmp_path, capsys):
+        report = tmp_path / "nested" / "report.json"
+        assert main([
+            "farm", "--experiments", "table2", "--probe-only",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--report-json", str(report),
+        ]) == 0
+        assert json.loads(report.read_text())["n_cells"] == 1
+        # Same-dir temp + os.replace: no temp litter next to the report.
+        assert [p.name for p in report.parent.iterdir()] == ["report.json"]
+
+    def test_unknown_farm_device_fails_before_any_cell(self, tmp_path, capsys):
+        assert main([
+            "farm", "--experiments", "figS1", "--devices", "v100,nodev",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "unknown device name(s) ['nodev']" in err
+        assert "registered devices" in err
+        assert not (tmp_path / "cache").exists() or not list(
+            (tmp_path / "cache").glob("*.json"))
+
+
+class TestDeviceOverridesValidation:
+    def test_unknown_names_raise_configuration_error_listing_registry(self):
+        from repro.errors import ConfigurationError
+        from repro.gpusim.device import list_devices
+        from repro.harness.farm import device_overrides_for
+
+        with pytest.raises(ConfigurationError) as exc:
+            device_overrides_for(
+                "figS1", "default", ("gh200", "notta", "nodev"), strict=True
+            )
+        msg = str(exc.value)
+        assert "['nodev', 'notta']" in msg
+        for name in list_devices():
+            assert name in msg
+
+    def test_known_names_still_resolve(self):
+        from repro.harness.farm import device_overrides_for
+
+        assert device_overrides_for(
+            "figS1", "default", ("v100", "gh200"), strict=True
+        ) == {"devices": ("v100", "gh200")}

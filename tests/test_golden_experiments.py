@@ -22,7 +22,10 @@ those experiments moved onto the sharded run-axis protocol and record the
 figS1 pin records the device-plane anchoring contract (one anchored
 stream per (device, array) cell instead of a shared sequential ladder —
 see :mod:`repro.gpusim.scheduler`), so pre-anchoring figS1 bits
-legitimately differ.
+legitimately differ.  The collsweep pin records the collective layer's
+per-(run, edge) delay cells and per-(device, run) rank-partial planes
+(:mod:`repro.gpusim.collectives`) together with the deterministic
+in-order topology-equivalence flag in ``extra``.
 
 Regenerating after an intentional semantic change::
 
@@ -53,6 +56,8 @@ _OVERRIDES: dict[str, dict] = {
     "warpsweep": {"n_elements": 1_024, "n_arrays": 2, "n_runs": 24},
     "seedens": {"seeds": (0, 1), "devices": ("v100", "lpu"),
                 "n_elements": 2_000, "n_arrays": 2, "n_runs": 12},
+    "collsweep": {"devices": ("v100", "gh200", "cpu"),
+                  "n_elements": 2_048, "n_runs": 24},
     "table3": {},
     "table7": {"n_models": 4, "epochs": 3},
     "table8": {},
@@ -60,6 +65,7 @@ _OVERRIDES: dict[str, dict] = {
 
 GOLDEN_SHA256: dict[str, str] = {
     "cgdiv": "5fccfa4958e04baceac7c1648dee44249ef60e076fd18b62ed2c32333dc30b15",
+    "collsweep": "92d6e1cf92031aa0ef5b7e509f7757874042b415ff6c1f59b241116f3bf5f6cb",
     "fig2": "5019c432206a1415b0ae53f86ecc04cf91f0df1acfc7bc228530277d716ca9e9",
     "fig3": "906b14509cd7362d26947ca714681bad6d73d14d27b786879f36b69d2a0d0590",
     "fig4": "d13da4f2b51841b3fd65c0fe3051299ad96c92ebd2243434451dd04c81c79c95",

@@ -355,6 +355,42 @@ class TestCacheMetadataProbes:
             assert cache.read_meta(key) is None  # corrupted
             assert cache.contains(key) is False
 
+    def test_read_meta_grows_past_the_probe_window(self, tmp_path):
+        # A metadata block larger than the initial probe window must
+        # still hit: the read grows adaptively instead of degrading to a
+        # permanent miss the farm would keep re-dispatching.
+        cache = ResultCache(tmp_path)
+        key = cache_key("table2", "default", 0)
+        cache.store(key, self._result())
+        cache._META_PROBE_BYTES = 64  # shrink the window on this instance
+        meta = cache.read_meta(key)
+        assert meta is not None and meta["key"] == key
+        assert cache.contains(key) is True
+
+    def test_read_meta_oversized_metadata_block_hits(self, tmp_path):
+        # Same property at the real window size: a closure-module map
+        # (or any metadata) pushing the cache block past 262KB.
+        cache = ResultCache(tmp_path)
+        key = cache_key("table2", "default", 0)
+        pad = {f"mod{i:05d}": "f" * 64 for i in range(4000)}
+        entry = {"cache": {"key": key, "modules": pad}, "result": {"rows": []}}
+        text = json.dumps(entry, indent=2)
+        assert len(text) > cache._META_PROBE_BYTES
+        cache.path_for(key).write_text(text)
+        meta = cache.read_meta(key)
+        assert meta is not None and meta["key"] == key
+
+    def test_read_meta_stops_without_a_cache_marker(self, tmp_path):
+        # A big file whose head window carries no "cache" marker is
+        # provably not a well-formed entry: the probe must answer None
+        # without scanning the rest.
+        cache = ResultCache(tmp_path)
+        key = cache_key("table2", "default", 0)
+        cache.path_for(key).write_text(
+            '{"rows": [' + ", ".join(["1"] * 200_000) + "]}"
+        )
+        assert cache.read_meta(key) is None
+
     def test_read_meta_rejects_key_mismatch(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = cache_key("table2", "default", 0)

@@ -81,6 +81,9 @@ SHARDABLE_CASES = [
     ("fig4", {"n_runs": 9}, {"ratios": (0.2, 1.0), "sr_dim": 500, "ia_dim": 20, "n_runs": 9}),
     ("fig5", {"n_runs": 9}, {"ratios": (0.2, 1.0), "sr_dim": 500, "ia_dim": 20, "n_runs": 9}),
     ("warpsweep", {"n_runs": 9}, {"n_elements": 256, "n_arrays": 2, "n_runs": 9}),
+    ("collsweep", {"n_runs": 9}, {
+        "devices": ("v100", "gh200", "cpu"), "n_elements": 512, "n_runs": 9,
+    }),
     ("seedens", {"seeds": tuple(range(9)), "n_elements": 4_000, "n_arrays": 2, "n_runs": 24}, {
         "seeds": tuple(range(9)), "devices": ("v100", "lpu"),
         "n_elements": 500, "n_arrays": 2, "n_runs": 5,
