@@ -1,0 +1,107 @@
+"""Bench SERVICE: the experiment daemon under seeded NHPP traffic.
+
+Two numbers go into ``BENCH_0009.json``:
+
+* ``test_service_warm_roundtrip`` — one blocking ``POST /jobs?wait=1``
+  against a warmed cache: HTTP parse + admission + queue + cache probe +
+  response, with **zero** experiment executions (asserted via the
+  executor's dispatch counter).  The mean is pure per-job service
+  overhead — the number that must stay far below any real experiment.
+* ``test_service_nhpp_load`` — a seeded piecewise-constant NHPP
+  (shoulder/peak/shoulder daypart) fired in real time against the warmed
+  daemon.  The schedule replays bit-identically per seed, so run-to-run
+  variation is all service, none workload.  The measured mean is
+  horizon-bound (arrivals are scheduled on the wall clock); the load
+  outcomes — throughput, hit rate, p50/p99 latency, rejections — land in
+  ``extra_info`` and are asserted: every request answered, hit rate
+  exactly 1.0, and the executor never dispatches under traffic.
+
+Jobs are cheap monolithic experiments (``table2`` + a trimmed ``fig4``)
+so the cold warm-up outside the measured rounds stays CI-sized; the
+warm path under test never touches them anyway.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.harness import JobRunner, JobSpec, ResultCache
+from repro.harness.parallel import ShardedExecutor
+from repro.harness.service import LoadGenerator, PiecewiseConstantNHPP, ServiceThread
+
+from conftest import run_once
+
+#: The request mix the generator draws from (seeded, so the mix replays).
+JOBS = [
+    {"experiment_id": "table2"},
+    {"experiment_id": "fig4", "overrides": {"n_runs": 4}},
+]
+
+#: Shoulder/peak/shoulder intensity — ~70 expected arrivals over 2s.
+SEGMENTS = [(0.0, 0.5, 20.0), (0.5, 1.5, 40.0), (1.5, 2.0, 20.0)]
+HORIZON_S = 2.0
+
+
+@pytest.fixture(scope="module")
+def warm_service(tmp_path_factory):
+    """A live daemon over a serial executor, cache pre-warmed with every
+    job in the mix (outside any measured round)."""
+    cache = ResultCache(tmp_path_factory.mktemp("service-bench-cache"))
+    with ShardedExecutor(workers=1) as executor:
+        runner = JobRunner(executor, cache)
+        for doc in JOBS:
+            runner.run(JobSpec.from_dict(doc))
+        with ServiceThread(runner, queue_limit=64) as svc:
+            yield svc
+
+
+def _dispatches(svc) -> int:
+    with urllib.request.urlopen(svc.base_url + "/stats", timeout=30) as resp:
+        return json.loads(resp.read().decode())["executor"]["dispatches"]
+
+
+def test_service_warm_roundtrip(benchmark, warm_service):
+    url = warm_service.base_url + "/jobs?wait=1"
+    payload = json.dumps(JOBS[0]).encode()
+
+    def roundtrip():
+        req = urllib.request.Request(
+            url, data=payload,
+            headers={"Content-Type": "application/json"}, method="POST",
+        )
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return json.loads(resp.read().decode())
+
+    before = _dispatches(warm_service)
+    doc = benchmark(roundtrip)
+    assert doc["status"] == "done"
+    assert doc["outcome"]["cached"] is True
+    assert _dispatches(warm_service) == before  # no worker ever touched
+
+
+def test_service_nhpp_load(benchmark, warm_service):
+    before = _dispatches(warm_service)
+
+    def load():
+        gen = LoadGenerator(
+            warm_service.base_url,
+            PiecewiseConstantNHPP(SEGMENTS, seed=42),
+            JOBS,
+            seed=42,
+        )
+        return gen.run(HORIZON_S)
+
+    report = run_once(benchmark, load)
+    assert report.n_scheduled > 20
+    assert report.n_ok == report.n_scheduled  # nothing rejected or failed
+    assert report.n_failed == 0 and report.n_rejected == 0
+    assert report.hit_rate == 1.0
+    assert _dispatches(warm_service) == before  # pure cache traffic
+    benchmark.extra_info["n_requests"] = report.n_scheduled
+    benchmark.extra_info["throughput_rps"] = round(report.throughput_rps, 2)
+    benchmark.extra_info["hit_rate"] = report.hit_rate
+    benchmark.extra_info["p50_ms"] = round(report.percentile_ms(0.50), 3)
+    benchmark.extra_info["p99_ms"] = round(report.percentile_ms(0.99), 3)

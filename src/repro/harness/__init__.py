@@ -1,4 +1,4 @@
-"""Sweep, timing, parallel-execution, caching, farm and CLI utilities."""
+"""Sweep, timing, parallel-execution, caching, job, farm and CLI utilities."""
 
 from .sweep import grid, Sweep
 from .timing import time_callable, TimingStats
@@ -12,6 +12,7 @@ from .results import (
     ResultCache,
 )
 from .parallel import ShardedExecutor, default_workers
+from .jobs import JobSpec, JobOutcome, CellOutcome, JobRunner
 from .farm import (
     FarmCell,
     FarmReport,
@@ -23,6 +24,10 @@ from .farm import (
 )
 
 __all__ = [
+    "JobSpec",
+    "JobOutcome",
+    "CellOutcome",
+    "JobRunner",
     "grid",
     "Sweep",
     "time_callable",

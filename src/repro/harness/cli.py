@@ -16,6 +16,9 @@ Usage::
                            [--backend MODE] [--cache-dir DIR]
                            [--pins FILE] [--report-json PATH]
                            [--probe-only] [--fail-on-drift]
+    repro-experiments serve [--host HOST] [--port N] [--queue-limit N]
+                            [--workers N] [--backend MODE]
+                            [--cache-dir DIR] [--no-cache]
 
 Device axis: ``--devices v100,gh200,lpu`` overrides the device list of the
 cross-architecture experiments (e.g. ``figS1``, whose report carries one
@@ -77,6 +80,32 @@ reports staleness without dispatching; ``--fail-on-drift`` turns any
 drift into a non-zero exit (CI gate); ``--report-json`` archives the
 machine-readable report.
 
+Job core: every subcommand above rides one transport-agnostic lifecycle
+(:mod:`repro.harness.jobs`).  A submission — CLI flags, a farm grid
+cell, or a service POST body — becomes a
+:class:`~repro.harness.jobs.JobSpec`, canonicalised exactly like the
+cache-key inputs (override canonicalisation, lowercased device names),
+and runs through :class:`~repro.harness.jobs.JobRunner`: registry
+validation, cell decomposition, metadata-only hit probes, executor
+dispatch of the misses, store, bit-exact reassembly.  The contract is
+**zero drift** across transports: a cell computed by any entry point
+lands on byte-identical keys and bit-identical payloads for every other
+one, so a daemon warms the cache for the CLI and vice versa.  ``run``
+and ``run-all`` print the resulting per-experiment status
+(``cached``/``computed [k/n cells]`` + wall-clock) from the
+:class:`~repro.harness.jobs.JobOutcome` on stderr.
+
+Service: ``serve`` (also ``python -m repro.harness.service``) runs a
+long-lived stdlib-only asyncio daemon over the same job core
+(:mod:`repro.harness.service`): ``POST /jobs`` admits into a bounded
+queue (429 + queue depth when full, 503 while draining), ``GET
+/results/<key>`` answers cache keys without touching a worker, ``GET
+/stats`` reports throughput, hit rate, queue depth, latency percentiles
+and the executor's dispatch/pool counters, and SIGTERM triggers a
+graceful drain (in-flight and queued jobs finish, then the sockets
+close).  One persistent executor pool serves every job the daemon ever
+runs.
+
 Environment validation: malformed ``REPRO_WORKERS`` (non-integer or
 < 1) and ``REPRO_BACKEND`` (unknown mode) values fail at CLI entry with
 configuration errors naming the variable, instead of being silently
@@ -94,9 +123,10 @@ from pathlib import Path
 from .. import backend as _backend
 from ..errors import ConfigurationError, ReproError
 from ..experiments import get_experiment, list_experiments, to_json, to_markdown
-from .farm import SweepFarm, device_overrides_for, load_pins, plan_grid
+from .farm import SweepFarm, load_pins, plan_grid
+from .jobs import JobRunner, JobSpec
 from .parallel import ShardedExecutor
-from .results import ResultCache, _atomic_write_text, cache_key, save_result
+from .results import ResultCache, _atomic_write_text, save_result
 
 __all__ = ["main", "build_parser", "default_cache_dir"]
 
@@ -164,6 +194,39 @@ def build_parser() -> argparse.ArgumentParser:
 
     runall = sub.add_parser("run-all", help="run every experiment")
     _add_run_options(runall)
+
+    serve = sub.add_parser(
+        "serve",
+        help="long-running experiment daemon: asyncio HTTP/JSON API over "
+        "the job core (POST /jobs, GET /jobs/<id>, GET /results/<key>, "
+        "GET /experiments, GET /stats)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8752,
+        help="listen port (0 picks an ephemeral one)",
+    )
+    serve.add_argument(
+        "--queue-limit", type=int, default=32, metavar="N",
+        help="max pending jobs before POST /jobs returns 429",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="executor worker processes (default: $REPRO_WORKERS or 1)",
+    )
+    serve.add_argument(
+        "--backend", default=None, choices=_backend.MODES,
+        help="compute backend under the fold primitives",
+    )
+    serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result-cache directory (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-experiments)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true",
+        help="serve without a result cache (every job recomputes)",
+    )
 
     farm = sub.add_parser(
         "farm",
@@ -236,63 +299,30 @@ def _parse_names(raw: str | None, what: str) -> tuple[str, ...]:
     return names
 
 
+def _job_spec(eid: str, args) -> JobSpec:
+    """Translate parsed ``run``/``run-all`` flags into a :class:`JobSpec`.
+
+    Device-name translation (full tuple for device-axis experiments, one
+    name for single-device ones, strictness per subcommand) happens in
+    the job core (:meth:`~repro.harness.jobs.JobRunner.plan_overrides`),
+    which the farm's per-device grid expansion shares.
+    """
+    return JobSpec(
+        experiment_id=eid,
+        scale=args.scale,
+        seed=args.seed,
+        devices=_parse_names(args.devices, "--devices") or None,
+        backend=getattr(args, "backend", None),
+        workers=args.workers,
+    )
+
+
 def _device_overrides(eid: str, args, *, strict: bool) -> dict:
-    """Translate ``--devices`` into parameter overrides for ``eid``.
-
-    Experiments with a ``devices`` axis get the full tuple; single-device
-    experiments accept exactly one name.  ``strict`` (the single-``run``
-    path) raises on experiments without a device parameter; ``run-all``
-    passes ``strict=False`` and leaves them untouched.  (The farm expands
-    the same mapping per device name — one cell per device that fits.)
-    """
-    if not args.devices:
-        return {}
-    names = tuple(n.lower() for n in _parse_names(args.devices, "--devices"))
-    return device_overrides_for(eid, args.scale, names, strict=strict)
-
-
-def _run_one(executor, cache, eid: str, args, overrides: dict) -> tuple:
-    """Cache-aware single-experiment execution; returns (result, hit).
-
-    Experiments whose axis declaration decomposes into cache cells
-    (:meth:`~repro.experiments.base.Experiment.cache_cells` — e.g. a
-    seed-ensemble's (seed x device) grid) run and cache **per cell**:
-    every cell gets its own result-cache key, so re-running a grown grid
-    recomputes only the new cells, and the per-cell results reassemble
-    (:meth:`~repro.experiments.base.Experiment.combine_cells`)
-    bit-identically to the monolithic run.  ``hit`` reports a full-grid
-    cache hit (every cell served from cache).
-    """
-    exp = get_experiment(eid)
-    cells = exp.cache_cells(args.scale, args.seed, overrides)
-    if cells is None:
-        key = cache_key(eid, args.scale, args.seed, overrides)
-        if cache is not None and cache.contains(key):
-            cached = cache.lookup(key)
-            if cached is not None:
-                return cached, True
-        result = executor.run(eid, scale=args.scale, seed=args.seed, **overrides)
-        if cache is not None:
-            cache.store(key, result)
-        return result, False
-    params = exp.resolve_params(args.scale, dict(overrides))
-    results, all_hit = [], True
-    for cell in cells:
-        key = cache_key(eid, args.scale, args.seed, cell)
-        cached = (
-            cache.lookup(key)
-            if cache is not None and cache.contains(key)
-            else None
-        )
-        if cached is not None:
-            results.append(cached)
-            continue
-        all_hit = False
-        result = executor.run(eid, scale=args.scale, seed=args.seed, **cell)
-        if cache is not None:
-            cache.store(key, result)
-        results.append(result)
-    return exp.combine_cells(args.scale, params, args.seed, results), all_hit
+    """Back-compat shim: the job core's device translation (kept for
+    tests that exercise the mapping directly)."""
+    return JobRunner(None, None).plan_overrides(
+        _job_spec(eid, args), strict_devices=strict
+    )
 
 
 def _run_farm(executor, cache, args) -> int:
@@ -332,6 +362,12 @@ def main(argv: list[str] | None = None) -> int:
                 exp = get_experiment(eid)
                 print(f"{eid:10s} {exp.title}")
             return 0
+        if args.command == "serve":
+            # The daemon owns its own executor/cache lifecycle (one
+            # persistent pool for the daemon's whole lifetime).
+            from .service.__main__ import serve as _serve
+
+            return _serve(args)
         if getattr(args, "backend", None):
             _backend.set_backend(args.backend)
         else:
@@ -344,14 +380,15 @@ def main(argv: list[str] | None = None) -> int:
         with ShardedExecutor(workers=args.workers) as executor:
             if args.command == "farm":
                 return _run_farm(executor, cache, args)
+            runner = JobRunner(executor, cache)
             if args.command == "run":
-                get_experiment(args.experiment_id)  # fail fast on unknown ids
-                overrides = _device_overrides(args.experiment_id, args, strict=True)
-                result, hit = _run_one(
-                    executor, cache, args.experiment_id, args, overrides
+                outcome = runner.run(
+                    _job_spec(args.experiment_id, args), strict_devices=True
                 )
+                result = outcome.result
                 print(to_json(result) if args.json else to_markdown(result))
-                if hit:
+                print(f"[{outcome.status_line()}]", file=sys.stderr)
+                if outcome.cached:
                     print("[cache hit]", file=sys.stderr)
                 if args.out:
                     path = save_result(result, args.out)
@@ -359,13 +396,13 @@ def main(argv: list[str] | None = None) -> int:
                 return 0
             if args.command == "run-all":
                 for eid in list_experiments():
-                    overrides = _device_overrides(eid, args, strict=False)
-                    result, hit = _run_one(executor, cache, eid, args, overrides)
-                    print(to_markdown(result))
-                    if hit:
+                    outcome = runner.run(_job_spec(eid, args), strict_devices=False)
+                    print(to_markdown(outcome.result))
+                    print(f"[{outcome.status_line()}]", file=sys.stderr)
+                    if outcome.cached:
                         print(f"[cache hit: {eid}]", file=sys.stderr)
                     if args.out:
-                        save_result(result, args.out)
+                        save_result(outcome.result, args.out)
                 return 0
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

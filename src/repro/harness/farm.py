@@ -361,9 +361,14 @@ class SweepFarm:
     """
 
     def __init__(self, cache: ResultCache, executor, pins: dict[str, str] | None = None):
+        from .jobs import JobRunner
+
         self.cache = cache
         self.executor = executor
         self.pins = dict(pins or {})
+        #: Shared job core: the farm's miss path is the same
+        #: dispatch-and-store primitive the CLI and the service ride.
+        self.runner = JobRunner(executor, cache)
 
     # ------------------------------------------------------------- probing
     def probe(self, cells: list[FarmCell]) -> tuple[list[FarmCell], list[FarmCell]]:
@@ -432,15 +437,17 @@ class SweepFarm:
                 reverse=True,
             )
             for cell in schedule:
-                result = self.executor.run(
+                # Dispatch + store through the job core (bit- and
+                # key-identical to the inline path it replaced).
+                result = self.runner.execute(
                     cell.experiment_id,
-                    scale=cell.scale,
-                    seed=cell.seed,
-                    **cell.overrides,
+                    cell.scale,
+                    cell.seed,
+                    cell.overrides,
+                    key=cell.key,
                 )
                 executed.append(cell)
                 digest = result_digest(result)
-                self.cache.store(cell.key, result, overrides=cell.overrides)
                 self._check_drift(cell, digest, index, drift)
         return FarmReport(
             cells=list(cells),

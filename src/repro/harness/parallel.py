@@ -114,6 +114,17 @@ class ShardedExecutor:
             raise ExperimentError(f"workers must be >= 1, got {self.workers}")
         self._start_method = start_method
         self._pool = None
+        #: Experiment executions this executor has performed (serial or
+        #: pooled).  A cache-answered job never increments it, so "the
+        #: warm grid touched no worker" is an assertable property — the
+        #: service's ``/stats`` and the CI smoke both read it.
+        self.dispatches = 0
+        #: Spawn pools created over this executor's lifetime.  A
+        #: long-lived executor serving many sequential jobs must reuse
+        #: one pool (no per-job pool churn) — pinned by the longevity
+        #: test; the service keeps one executor alive for its whole
+        #: lifetime.
+        self.pools_created = 0
 
     # ------------------------------------------------------------------ pool
     def _get_pool(self):
@@ -124,6 +135,7 @@ class ShardedExecutor:
                 initializer=_worker_initializer,
                 initargs=(_backend.backend_mode(),),
             )
+            self.pools_created += 1
         return self._pool
 
     def close(self) -> None:
@@ -197,6 +209,7 @@ class ShardedExecutor:
         """
         exp = get_experiment(experiment_id)
         params = exp.resolve_params(scale, overrides)
+        self.dispatches += 1
         shards = self.plan(exp, params)
         if shards is None:
             result = exp.run(scale=scale, ctx=RunContext(seed=seed), **overrides)

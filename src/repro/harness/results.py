@@ -370,16 +370,29 @@ class ResultCache:
                 yield meta
 
     def lookup(self, key: str) -> ExperimentResult | None:
-        """Return the cached result for ``key``, or ``None`` on a miss."""
+        """Return the cached result for ``key``, or ``None`` on a miss.
+
+        An entry that vanishes between a :meth:`contains` probe and the
+        payload read here (age GC, a concurrent process pruning the
+        directory) is a **clean** miss — no warning, no
+        ``FileNotFoundError`` — so callers racing the filesystem (a
+        daemon under traffic, two farm processes sharing a cache) simply
+        recompute.  Only entries that *exist but cannot be served*
+        (corruption, key mismatch) warn.
+        """
         path = self.path_for(key)
-        if not path.exists():
-            return None
         try:
-            data = json.loads(path.read_text())
+            text = path.read_text()
+        except FileNotFoundError:
+            return None  # deleted since the probe: a clean miss
+        except OSError:
+            return None  # unreadable (permissions, transient IO): miss
+        try:
+            data = json.loads(text)
             if data["cache"]["key"] != key:
                 raise ValueError("cache key mismatch")
             result = _result_from_dict(data["result"], path)
-        except (ValueError, KeyError, TypeError, OSError, ExperimentError) as exc:
+        except (ValueError, KeyError, TypeError, ExperimentError) as exc:
             warnings.warn(
                 f"corrupted result-cache entry {path} ({exc}); recomputing",
                 UserWarning,

@@ -1,0 +1,288 @@
+"""Seeded synthetic load: arrival policies + an HTTP traffic driver.
+
+The service's behaviour under traffic must be a pinned trajectory, not a
+guess — so the load is **reproducible**: arrival times and request
+choices derive from seeded generators, and only the measured wall-clock
+varies run to run.
+
+Arrival processes follow the pluggable-policy shape the collective layer
+established (:class:`repro.gpusim.collectives.ArrivalPolicy` orders
+message arrivals per combine; this module's :class:`ArrivalPolicy`
+schedules request arrivals per run): an ABC with one method, concrete
+policies drawing from their own seeded stream.
+
+* :class:`ConstantRateArrival` — homogeneous Poisson traffic: i.i.d.
+  exponential gaps at a fixed rate.
+* :class:`PiecewiseConstantNHPP` — a nonhomogeneous Poisson process with
+  a piecewise-constant rate function (the classic open/peak/close
+  daypart shape), sampled by **thinning** (Lewis & Shedler): candidate
+  arrivals at the envelope rate ``lambda_max``, each accepted with
+  probability ``lambda(t) / lambda_max``.  Exact for piecewise-constant
+  rates, and the acceptance stream is part of the seeded draw sequence,
+  so the whole schedule replays bit-identically per seed.
+
+:class:`LoadGenerator` fires the schedule against a live daemon (one
+``POST /jobs?wait=1`` per arrival, stdlib ``urllib`` on worker threads)
+and reports throughput, p50/p99 latency, hit rate and backpressure
+rejections as a :class:`LoadReport` — the numbers ``BENCH_0009.json``
+pins.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import math
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+
+from ...errors import ConfigurationError
+
+__all__ = [
+    "ArrivalPolicy",
+    "ConstantRateArrival",
+    "PiecewiseConstantNHPP",
+    "LoadGenerator",
+    "LoadReport",
+]
+
+
+class ArrivalPolicy(abc.ABC):
+    """When does the next request arrive?
+
+    Implementations are seeded and stateful: repeated
+    :meth:`next_arrival_time` calls walk one reproducible schedule.
+    Build a fresh policy (same seed) to replay it.
+    """
+
+    @abc.abstractmethod
+    def next_arrival_time(self, current_time: float) -> float:
+        """Absolute time (seconds from schedule start) of the next
+        arrival after ``current_time``; ``math.inf`` when the process
+        has no further arrivals."""
+
+    def arrival_times(self, horizon_s: float) -> list[float]:
+        """The full schedule on ``[0, horizon_s)``."""
+        if horizon_s <= 0:
+            raise ConfigurationError(f"horizon must be > 0, got {horizon_s}")
+        times: list[float] = []
+        t = 0.0
+        while True:
+            t = self.next_arrival_time(t)
+            if t >= horizon_s:
+                return times
+            times.append(t)
+
+
+class ConstantRateArrival(ArrivalPolicy):
+    """Homogeneous Poisson arrivals at ``rate_hz`` requests/second."""
+
+    def __init__(self, rate_hz: float, *, seed: int = 0) -> None:
+        if rate_hz <= 0:
+            raise ConfigurationError(f"rate_hz must be > 0, got {rate_hz}")
+        self.rate_hz = float(rate_hz)
+        self._rng = random.Random(seed)
+
+    def next_arrival_time(self, current_time: float) -> float:
+        return current_time + self._rng.expovariate(self.rate_hz)
+
+
+class PiecewiseConstantNHPP(ArrivalPolicy):
+    """NHPP with a piecewise-constant rate, sampled by thinning.
+
+    ``segments`` is a sequence of ``(start_s, end_s, rate_hz)`` triples;
+    the rate is 0 outside every segment (including after the last one, so
+    the process ends there).  Candidate arrivals are drawn at the
+    envelope rate ``max(rate_hz)`` and accepted with probability
+    ``rate(t) / envelope`` — the standard thinning construction, exact
+    for piecewise-constant intensities.
+    """
+
+    def __init__(
+        self, segments: list[tuple[float, float, float]], *, seed: int = 0
+    ) -> None:
+        if not segments:
+            raise ConfigurationError("PiecewiseConstantNHPP needs >= 1 segment")
+        clean = []
+        for i, seg in enumerate(segments):
+            try:
+                start, end, rate = (float(v) for v in seg)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"segment {i} must be (start_s, end_s, rate_hz), got {seg!r}"
+                ) from None
+            if end <= start:
+                raise ConfigurationError(
+                    f"segment {i}: end {end} must exceed start {start}"
+                )
+            if rate < 0:
+                raise ConfigurationError(f"segment {i}: rate {rate} must be >= 0")
+            clean.append((start, end, rate))
+        self.segments = sorted(clean)
+        self.envelope_hz = max(rate for _, _, rate in self.segments)
+        if self.envelope_hz <= 0:
+            raise ConfigurationError("at least one segment needs a positive rate")
+        self._end = max(end for _, end, _ in self.segments)
+        self._rng = random.Random(seed)
+
+    def rate_at(self, t: float) -> float:
+        """The intensity function: the rate of the segment covering ``t``."""
+        for start, end, rate in self.segments:
+            if start <= t < end:
+                return rate
+        return 0.0
+
+    def next_arrival_time(self, current_time: float) -> float:
+        t = current_time
+        while True:
+            t += self._rng.expovariate(self.envelope_hz)
+            if t >= self._end:
+                return math.inf
+            # Thinning: accept this candidate with probability
+            # rate(t)/envelope.  The rejected draws stay in the seeded
+            # sequence, so the schedule is a pure function of the seed.
+            if self._rng.random() * self.envelope_hz <= self.rate_at(t):
+                return t
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one generated load run against a live service."""
+
+    n_scheduled: int
+    n_ok: int
+    n_rejected: int  # 429 backpressure + 503 draining
+    n_failed: int
+    duration_s: float
+    latencies_s: list[float] = field(default_factory=list)
+    n_cached: int = 0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n_ok / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.n_cached / self.n_ok if self.n_ok else 0.0
+
+    def percentile_ms(self, q: float) -> float:
+        lat = sorted(self.latencies_s)
+        if not lat:
+            return 0.0
+        pos = q * (len(lat) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(lat) - 1)
+        return (lat[lo] + (lat[hi] - lat[lo]) * (pos - lo)) * 1e3
+
+    def as_dict(self) -> dict:
+        return {
+            "n_scheduled": self.n_scheduled,
+            "n_ok": self.n_ok,
+            "n_rejected": self.n_rejected,
+            "n_failed": self.n_failed,
+            "duration_s": self.duration_s,
+            "throughput_rps": self.throughput_rps,
+            "hit_rate": self.hit_rate,
+            "p50_ms": self.percentile_ms(0.50),
+            "p99_ms": self.percentile_ms(0.99),
+        }
+
+
+class LoadGenerator:
+    """Drive a seeded request schedule against a live daemon.
+
+    Parameters
+    ----------
+    base_url:
+        The service root, e.g. ``http://127.0.0.1:8752``.
+    policy:
+        The :class:`ArrivalPolicy` producing the schedule.
+    jobs:
+        Job documents (``POST /jobs`` bodies) the traffic draws from;
+        each arrival picks one via the seeded request stream, so the
+        request mix replays per seed just like the arrival times.
+    seed:
+        Seed of the request-choice stream (independent of the policy's).
+    timeout_s:
+        Per-request HTTP timeout.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        policy: ArrivalPolicy,
+        jobs: list[dict],
+        *,
+        seed: int = 0,
+        timeout_s: float = 60.0,
+    ) -> None:
+        if not jobs:
+            raise ConfigurationError("LoadGenerator needs >= 1 job document")
+        self.base_url = base_url.rstrip("/")
+        self.policy = policy
+        self.jobs = [dict(j) for j in jobs]
+        self._rng = random.Random(seed)
+        self.timeout_s = timeout_s
+
+    def _fire(self, body: dict, report: LoadReport, lock: threading.Lock) -> None:
+        payload = json.dumps(body).encode()
+        req = urllib.request.Request(
+            f"{self.base_url}/jobs?wait=1",
+            data=payload,
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        t0 = time.perf_counter()
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout_s) as resp:
+                doc = json.loads(resp.read().decode())
+            latency = time.perf_counter() - t0
+            with lock:
+                if doc.get("status") == "done":
+                    report.n_ok += 1
+                    report.latencies_s.append(latency)
+                    if doc.get("outcome", {}).get("cached"):
+                        report.n_cached += 1
+                else:
+                    report.n_failed += 1
+        except urllib.error.HTTPError as exc:
+            with lock:
+                if exc.code in (429, 503):
+                    report.n_rejected += 1
+                else:
+                    report.n_failed += 1
+        except (urllib.error.URLError, TimeoutError, ConnectionError, OSError):
+            with lock:
+                report.n_failed += 1
+
+    def run(self, horizon_s: float) -> LoadReport:
+        """Fire the schedule in real time; block until every request
+        resolved; return the consolidated report."""
+        schedule = self.policy.arrival_times(horizon_s)
+        bodies = [
+            self.jobs[self._rng.randrange(len(self.jobs))] for _ in schedule
+        ]
+        report = LoadReport(
+            n_scheduled=len(schedule), n_ok=0, n_rejected=0, n_failed=0,
+            duration_s=0.0,
+        )
+        lock = threading.Lock()
+        threads: list[threading.Thread] = []
+        start = time.perf_counter()
+        for at, body in zip(schedule, bodies):
+            delay = at - (time.perf_counter() - start)
+            if delay > 0:
+                time.sleep(delay)
+            thread = threading.Thread(
+                target=self._fire, args=(body, report, lock), daemon=True
+            )
+            thread.start()
+            threads.append(thread)
+        for thread in threads:
+            thread.join(timeout=self.timeout_s)
+        report.duration_s = time.perf_counter() - start
+        return report

@@ -14,8 +14,6 @@ derived quantities are *equal* to the arithmetic they replaced:
 
 from __future__ import annotations
 
-import argparse
-
 import pytest
 
 from repro.errors import ConfigurationError, ExperimentError
@@ -23,7 +21,7 @@ from repro.experiments import get_experiment
 from repro.experiments.axes import AxisSpec, plan_sweep
 from repro.experiments.base import ShardableExperiment
 from repro.experiments.sharding import ShardAxis, plan_shards
-from repro.harness.cli import _run_one
+from repro.harness.jobs import JobRunner, JobSpec
 from repro.harness.parallel import ShardedExecutor
 from repro.harness.results import ResultCache, cache_key
 from repro.runtime import RunContext
@@ -231,18 +229,22 @@ class TestSeedEnsembleCells:
 
     def test_cli_cell_caching_combines_bit_exact(self, tmp_path):
         exp = get_experiment("seedens")
-        args = argparse.Namespace(scale="default", seed=0)
+        spec = JobSpec("seedens", scale="default", seed=0,
+                       overrides=dict(self.OVERRIDES))
         cache = ResultCache(tmp_path)
         with ShardedExecutor(workers=1) as ex:
-            result, hit = _run_one(ex, cache, "seedens", args, dict(self.OVERRIDES))
-        assert not hit
+            outcome = JobRunner(ex, cache).run(spec)
+        assert not outcome.cached
+        assert outcome.n_cells == 4 and outcome.n_hits == 0
         for cell in exp.cache_cells("default", 0, self.OVERRIDES):
             assert cache.lookup(cache_key("seedens", "default", 0, cell)) is not None
+        result = outcome.result
         mono = exp.run(scale="default", **self.OVERRIDES)
         assert result.rows == mono.rows
         assert result.extra == mono.extra
         assert result.notes == mono.notes
         with ShardedExecutor(workers=1) as ex:
-            again, hit2 = _run_one(ex, cache, "seedens", args, dict(self.OVERRIDES))
-        assert hit2
-        assert again.rows == result.rows and again.extra == result.extra
+            again = JobRunner(ex, cache).run(spec)
+        assert again.cached and again.n_hits == again.n_cells == 4
+        assert again.result.rows == result.rows
+        assert again.result.extra == result.extra

@@ -222,6 +222,32 @@ class TestResultCache:
         with pytest.warns(UserWarning, match="corrupted result-cache entry"):
             assert cache.lookup(key) is None
 
+    def test_deleted_entry_is_a_clean_miss(self, tmp_path):
+        # Race hardening: an entry can vanish between a ``contains``
+        # probe and the payload read (age GC, another process pruning
+        # the shared directory).  The read must degrade to a clean miss
+        # — no FileNotFoundError, and no corruption warning either,
+        # since nothing is corrupt.  The deletion happens in a real
+        # second process, as it would under two farm runs or a daemon
+        # sharing one cache directory.
+        import subprocess
+        import sys
+        import warnings
+
+        cache = ResultCache(tmp_path)
+        key = cache_key("table2", "default", 0)
+        path = cache.store(key, self._result())
+        assert cache.contains(key)  # probe says hit ...
+        subprocess.run(
+            [sys.executable, "-c", f"import os; os.unlink({str(path)!r})"],
+            check=True,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # any warning fails the test
+            assert cache.lookup(key) is None  # ... read is a clean miss
+            assert cache.read_meta(key) is None
+            assert not cache.contains(key)
+
     def test_key_mismatch_inside_entry_is_a_miss(self, tmp_path):
         cache = ResultCache(tmp_path)
         key = cache_key("table2", "default", 0)

@@ -375,3 +375,50 @@ class TestReusedContextContinuesLadder:
         wound = RunContext(seed=0)
         wound.seek_runs(5)
         assert exp.run(ctx=wound, **ov).rows == offset.rows
+
+
+class TestExecutorLongevity:
+    """A daemon holds ONE executor for its whole lifetime.  Sequential
+    job submissions must reuse the spawn pool — not churn worker
+    processes, not leak file descriptors."""
+
+    @staticmethod
+    def _open_fds():
+        import os
+
+        try:
+            return len(os.listdir("/proc/self/fd"))
+        except OSError:  # pragma: no cover - non-Linux
+            return None
+
+    def test_sequential_job_submissions_reuse_the_pool(self, pool2, tmp_path):
+        from repro.harness.jobs import JobRunner, JobSpec
+        from repro.harness.results import ResultCache
+
+        runner = JobRunner(pool2, ResultCache(tmp_path))
+        spec = lambda seed: JobSpec("fig4", seed=seed,
+                                    overrides={"n_runs": 4})  # noqa: E731
+        # Warm-up dispatch: creates the pool if no earlier test in the
+        # module has, and opens its (fixed) pipe descriptors.
+        runner.run(spec(100))
+        pool = pool2._pool
+        pools_before = pool2.pools_created
+        dispatches_before = pool2.dispatches
+        fds_before = self._open_fds()
+        expected_dispatches = 0
+        for seed in range(101, 109):
+            out = runner.run(spec(seed))
+            assert not out.cached
+            expected_dispatches += out.n_cells - out.n_hits
+        # A replayed job is all cache hits: zero new dispatches.
+        replay = runner.run(spec(101))
+        assert replay.cached and replay.n_hits == replay.n_cells
+        assert pool2._pool is pool, "spawn pool churned across submissions"
+        assert pool2.pools_created == pools_before
+        assert pool2.dispatches == dispatches_before + expected_dispatches
+        fds_after = self._open_fds()
+        if fds_before is not None:
+            assert fds_after <= fds_before, (
+                f"fd count grew {fds_before} -> {fds_after} across "
+                "sequential job submissions"
+            )
